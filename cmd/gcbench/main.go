@@ -1,0 +1,338 @@
+// Command gcbench drives the full reproduction workflow:
+//
+//	gcbench plan    [-profile standard]                 # print the Table 2 campaign
+//	gcbench sweep   [-profile standard] [-out runs.json] # execute it, save the corpus
+//	gcbench run     -alg PR [-edges 100000] [-alpha 2.5] # one instrumented computation
+//	gcbench figures [-runs runs.json] [-fig all|N|tableN] # regenerate figures/tables
+//	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gcbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "figures":
+		err = cmdFigures(os.Args[2:])
+	case "ensemble":
+		err = cmdEnsemble(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gcbench: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `gcbench — graph computation behavior benchmarking (HPDC'15 reproduction)
+
+subcommands:
+  plan      print the Table 2 experiment campaign
+  sweep     execute the campaign and save the behavior corpus
+  run       run one algorithm on one generated graph, print its behavior
+  figures   regenerate the paper's figures/tables from a corpus
+  ensemble  search the corpus for the best benchmark ensembles
+  predict   interpolate a computation's behavior from the corpus (§7)
+
+run 'gcbench <subcommand> -h' for flags.
+`)
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	profile := fs.String("profile", "standard", "campaign scale: quick | standard | large")
+	seed := fs.Uint64("seed", 42, "campaign seed")
+	fs.Parse(args)
+
+	specs, err := gcbench.BuildPlan(gcbench.Profile(*profile), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Table 2 campaign, profile=%s: %d runs\n", *profile, len(specs))
+	for _, s := range specs {
+		fmt.Println(s.ID())
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	profile := fs.String("profile", "standard", "campaign scale: quick | standard | large")
+	seed := fs.Uint64("seed", 42, "campaign seed")
+	out := fs.String("out", "runs.json", "corpus output path")
+	parallel := fs.Int("parallel", 0, "concurrent runs (0 = cores/2)")
+	workers := fs.Int("workers", 0, "engine workers per run (0 = all cores)")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	fs.Parse(args)
+
+	specs, err := gcbench.BuildPlan(gcbench.Profile(*profile), *seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cfg := gcbench.SweepConfig{Parallel: *parallel, Workers: *workers}
+	if !*quiet {
+		cfg.Progress = func(done, total int, id string) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-40s", done, total, id)
+		}
+	}
+	runs, err := gcbench.Sweep(specs, cfg)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err := gcbench.SaveRuns(*out, runs); err != nil {
+		return err
+	}
+	fmt.Printf("swept %d runs in %s → %s\n", len(runs), time.Since(start).Round(time.Millisecond), *out)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	alg := fs.String("alg", "PR", "algorithm: CC KC TC SSSP PR AD KM ALS NMF SGD SVD Jacobi LBP DD")
+	edges := fs.Int64("edges", 100000, "target edge count (graph-based algorithms)")
+	alpha := fs.Float64("alpha", 2.5, "power-law exponent")
+	rows := fs.Int("rows", 1000, "matrix rows / grid side (Jacobi, LBP)")
+	seed := fs.Uint64("seed", 1, "graph seed")
+	fs.Parse(args)
+
+	name, err := gcbench.ParseAlgorithm(*alg)
+	if err != nil {
+		return err
+	}
+	spec := gcbench.Spec{Algorithm: name, Seed: *seed}
+	switch strings.ToUpper(*alg) {
+	case "JACOBI", "LBP":
+		spec.NumRows = *rows
+		spec.SizeLabel = fmt.Sprint(*rows)
+	case "DD":
+		spec.NumEdges = *edges
+		spec.SizeLabel = fmt.Sprint(*edges)
+	default:
+		spec.NumEdges = *edges
+		spec.Alpha = *alpha
+		spec.SizeLabel = fmt.Sprint(*edges)
+	}
+	runs, err := gcbench.Sweep([]gcbench.Spec{spec}, gcbench.SweepConfig{})
+	if err != nil {
+		return err
+	}
+	r := runs[0]
+	fmt.Printf("run %s\n", r.ID())
+	fmt.Printf("  edges (realized): %d\n", r.NumEdges)
+	fmt.Printf("  iterations:       %d (converged=%t)\n", r.Iterations, r.Converged)
+	fmt.Printf("  raw per-edge behavior: UPDT=%.3e WORK=%.3e EREAD=%.3e MSG=%.3e\n",
+		r.Raw[0], r.Raw[1], r.Raw[2], r.Raw[3])
+	fmt.Printf("  active fraction: ")
+	step := 1
+	if len(r.ActiveFraction) > 20 {
+		step = len(r.ActiveFraction) / 20
+	}
+	for i := 0; i < len(r.ActiveFraction); i += step {
+		fmt.Printf("%.2f ", r.ActiveFraction[i])
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	runsPath := fs.String("runs", "runs.json", "behavior corpus (from 'gcbench sweep')")
+	fig := fs.String("fig", "all", "figure id: all, 1-23, table1, table2, table3")
+	samples := fs.Int("samples", 1000000, "coverage Monte-Carlo samples (paper: 1e6)")
+	maxSize := fs.Int("maxsize", 20, "largest ensemble size analyzed")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	fs.Parse(args)
+
+	runs, err := gcbench.LoadRuns(*runsPath)
+	if err != nil {
+		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
+	}
+	corpus, err := gcbench.NewCorpus(runs)
+	if err != nil {
+		return err
+	}
+	opt := gcbench.FigureOptions{CoverageSamples: *samples, MaxSize: *maxSize}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = gcbench.FigureIDs()
+	}
+	for _, id := range ids {
+		rep, err := gcbench.Figure(corpus, id, opt)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			for _, t := range rep.Tables {
+				fmt.Printf("# %s: %s — %s\n", rep.ID, rep.Title, t.Title)
+				if err := t.RenderCSV(os.Stdout); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdEnsemble(args []string) error {
+	fs := flag.NewFlagSet("ensemble", flag.ExitOnError)
+	runsPath := fs.String("runs", "runs.json", "behavior corpus (from 'gcbench sweep')")
+	size := fs.Int("size", 10, "ensemble size to design")
+	samples := fs.Int("samples", 200000, "coverage Monte-Carlo samples")
+	anneal := fs.Bool("anneal", false, "refine with simulated annealing")
+	export := fs.String("export", "", "directory to export the designed suites' workload files")
+	fs.Parse(args)
+
+	runs, err := gcbench.LoadRuns(*runsPath)
+	if err != nil {
+		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
+	}
+	corpus, err := gcbench.NewCorpus(runs)
+	if err != nil {
+		return err
+	}
+	pool := corpus.Pool
+	idx := make([]int, pool.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	spreadSets := gcbench.BestSpreadGreedy(pool.Points, idx, *size)
+	spreadMembers := spreadSets[*size]
+	if *anneal {
+		refined, score, err := gcbench.AnnealSpread(pool.Points, idx, gcbench.AnnealOptions{Size: *size, Seed: 1})
+		if err != nil {
+			return err
+		}
+		spreadMembers = refined
+		fmt.Printf("annealed spread: %.4f (greedy+exchange: %.4f)\n",
+			score, spreadOf(pool.Points, spreadSets[*size]))
+	}
+	fmt.Printf("Best-spread ensemble of size %d (spread %.4f):\n", *size,
+		spreadOf(pool.Points, spreadMembers))
+	for _, m := range spreadMembers {
+		fmt.Printf("  %s\n", pool.Runs[m].ID())
+	}
+
+	cov, err := gcbench.NewCoverageEstimator(*samples, 0x5eed)
+	if err != nil {
+		return err
+	}
+	covSets := gcbench.BestCoverageGreedy(cov, pool.Points, idx, *size)
+	covMembers := covSets[*size]
+	if *anneal {
+		refined, _, err := gcbench.AnnealCoverage(cov, pool.Points, idx, gcbench.AnnealOptions{Size: *size, Seed: 1, Steps: 500})
+		if err != nil {
+			return err
+		}
+		covMembers = refined
+	}
+	pts := make([]gcbench.Vector, len(covMembers))
+	for i, m := range covMembers {
+		pts[i] = pool.Points[m]
+	}
+	fmt.Printf("Best-coverage ensemble of size %d (coverage %.4f, NS=%d):\n",
+		*size, cov.Coverage(pts), *samples)
+	for _, m := range covMembers {
+		fmt.Printf("  %s\n", pool.Runs[m].ID())
+	}
+
+	if *export != "" {
+		members := make([]*gcbench.Run, 0, len(spreadMembers)+len(covMembers))
+		seen := map[int]bool{}
+		for _, m := range append(append([]int(nil), spreadMembers...), covMembers...) {
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			members = append(members, pool.Runs[m])
+		}
+		if err := gcbench.ExportSuite(*export, members, nil); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d workload files to %s\n", len(members), *export)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	runsPath := fs.String("runs", "runs.json", "behavior corpus (from 'gcbench sweep')")
+	alg := fs.String("alg", "PR", "algorithm to predict")
+	edges := fs.Int64("edges", 50000, "target edge count")
+	alpha := fs.Float64("alpha", 2.4, "power-law exponent")
+	loo := fs.Bool("loo", false, "also report leave-one-out error over the corpus")
+	fs.Parse(args)
+
+	runs, err := gcbench.LoadRuns(*runsPath)
+	if err != nil {
+		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
+	}
+	name, err := gcbench.ParseAlgorithm(*alg)
+	if err != nil {
+		return err
+	}
+	p, err := gcbench.NewPredictor(runs)
+	if err != nil {
+		return err
+	}
+	pred, err := p.Predict(gcbench.PredictQuery{
+		Algorithm: string(name), NumEdges: *edges, Alpha: *alpha,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted behavior of <%s, %d, %.2f> (from %d corpus runs):\n",
+		name, *edges, *alpha, pred.Support)
+	fmt.Printf("  UPDT=%.3e WORK=%.3e EREAD=%.3e MSG=%.3e  iterations≈%.0f\n",
+		pred.Raw[0], pred.Raw[1], pred.Raw[2], pred.Raw[3], pred.Iterations)
+	if *loo {
+		errs, err := gcbench.PredictLeaveOneOut(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("leave-one-out mean relative error: UPDT=%.1f%% WORK=%.1f%% EREAD=%.1f%% MSG=%.1f%%\n",
+			100*errs[0], 100*errs[1], 100*errs[2], 100*errs[3])
+	}
+	return nil
+}
+
+func spreadOf(pool []gcbench.Vector, idx []int) float64 {
+	pts := make([]gcbench.Vector, len(idx))
+	for i, j := range idx {
+		pts[i] = pool[j]
+	}
+	return gcbench.Spread(pts)
+}

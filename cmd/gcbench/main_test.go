@@ -1,0 +1,94 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gcbench"
+)
+
+// writeTinyCorpus sweeps a minimal campaign and saves it for the
+// figure/ensemble subcommand tests.
+func writeTinyCorpus(t *testing.T) string {
+	t.Helper()
+	var specs []gcbench.Spec
+	for _, alg := range []gcbench.AlgorithmName{"CC", "PR", "TC", "KM", "ALS", "SGD"} {
+		for _, alpha := range []float64{2.0, 3.0} {
+			s := gcbench.Spec{Algorithm: alg, NumEdges: 300, Alpha: alpha,
+				SizeLabel: "300", Seed: uint64(alpha * 7)}
+			if alg == "ALS" || alg == "SGD" {
+				s.NumEdges = 150
+			}
+			specs = append(specs, s)
+		}
+	}
+	runs, err := gcbench.Sweep(specs, gcbench.SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "runs.json")
+	if err := gcbench.SaveRuns(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdPlan(t *testing.T) {
+	if err := cmdPlan([]string{"-profile", "quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlan([]string{"-profile", "bogus"}); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	if err := cmdRun([]string{"-alg", "CC", "-edges", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-alg", "LBP", "-rows", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-alg", "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestCmdFiguresAndEnsemble(t *testing.T) {
+	path := writeTinyCorpus(t)
+	for _, fig := range []string{"table2", "13", "18"} {
+		if err := cmdFigures([]string{"-runs", path, "-fig", fig,
+			"-samples", "2000", "-maxsize", "4"}); err != nil {
+			t.Fatalf("figures %s: %v", fig, err)
+		}
+	}
+	if err := cmdFigures([]string{"-runs", path, "-fig", "13", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFigures([]string{"-runs", "/nonexistent.json", "-fig", "13"}); err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+	if err := cmdEnsemble([]string{"-runs", path, "-size", "3", "-samples", "2000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdPredict(t *testing.T) {
+	path := writeTinyCorpus(t)
+	if err := cmdPredict([]string{"-runs", path, "-alg", "PR", "-edges", "500", "-alpha", "2.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPredict([]string{"-runs", path, "-alg", "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := cmdPredict([]string{"-runs", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+}
+
+func TestCmdSweepQuickSubset(t *testing.T) {
+	// Full quick sweep is exercised elsewhere; here only the error path.
+	if err := cmdSweep([]string{"-profile", "bogus"}); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Algorithm explorer: run all fourteen algorithms on comparable inputs
+// and print the behavior signatures of §4 — the characteristic active
+// fraction shapes and the per-edge metric comparison of Figure 13.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gcbench"
+)
+
+func main() {
+	var specs []gcbench.Spec
+	for _, alg := range gcbench.AllAlgorithms() {
+		spec := gcbench.Spec{Algorithm: alg, Seed: 9, SizeLabel: "demo"}
+		switch alg {
+		case "ALS", "NMF", "SGD", "SVD":
+			spec.NumEdges, spec.Alpha = 2000, 2.5
+		case "Jacobi":
+			spec.NumRows = 400
+		case "LBP":
+			spec.NumRows = 24
+		case "DD":
+			spec.NumEdges = 300
+		default:
+			spec.NumEdges, spec.Alpha = 5000, 2.5
+		}
+		specs = append(specs, spec)
+	}
+	runs, err := gcbench.Sweep(specs, gcbench.SweepConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Active fraction over the lifecycle (each char ≈ one decile of the run):")
+	fmt.Println("  █ = all active, ▅ ▂ = partial, · = nearly idle")
+	for _, r := range runs {
+		fmt.Printf("  %-7s %4d iters  %s  %s\n",
+			r.Algorithm, r.Iterations, sparkline(r.ActiveFraction), shape(r.ActiveFraction))
+	}
+
+	fmt.Println("\nPer-edge behavior (normalized to the max across algorithms):")
+	var maxV gcbench.Vector
+	for _, r := range runs {
+		for d := 0; d < 4; d++ {
+			if r.Raw[d] > maxV[d] {
+				maxV[d] = r.Raw[d]
+			}
+		}
+	}
+	fmt.Printf("  %-7s %6s %6s %6s %6s\n", "alg", "UPDT", "WORK", "EREAD", "MSG")
+	for _, r := range runs {
+		fmt.Printf("  %-7s", r.Algorithm)
+		for d := 0; d < 4; d++ {
+			v := 0.0
+			if maxV[d] > 0 {
+				v = r.Raw[d] / maxV[d]
+			}
+			fmt.Printf(" %6.3f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNote how SSSP grows from one active vertex, PageRank decays,")
+	fmt.Println("LBP drops sharply, and AD/KM/NMF/SGD/SVD stay at 1.0 — the")
+	fmt.Println("diversity the paper's benchmark ensembles exploit.")
+}
+
+// sparkline compresses the active-fraction series into ten glyphs.
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	glyphs := []rune("·▁▂▃▄▅▆▇██")
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		x := xs[i*(len(xs)-1)/9]
+		g := int(x * float64(len(glyphs)-1))
+		if g < 0 {
+			g = 0
+		}
+		if g >= len(glyphs) {
+			g = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[g])
+	}
+	return b.String()
+}
+
+func shape(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	first, last := xs[0], xs[len(xs)-1]
+	allOne := true
+	for _, x := range xs {
+		if x < 0.999 {
+			allOne = false
+			break
+		}
+	}
+	switch {
+	case allOne:
+		return "constant 1.0"
+	case first < 0.1 && last > first:
+		return "frontier growth"
+	case first > 0.9 && last < first/2:
+		return "decaying"
+	default:
+		return "varying"
+	}
+}

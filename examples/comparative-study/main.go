@@ -1,0 +1,91 @@
+// Comparative study: reproduce the paper's motivating observation
+// (Table 1 / §1) that ad-hoc ensembles give capricious system
+// comparisons. We compare two "graph-processing configurations" — the
+// engine at 1 worker vs 8 workers (oversubscribed on small hosts) — first with a narrow ad-hoc ensemble,
+// then with a behavior-diverse designed ensemble, and show how the
+// narrow study misestimates the speedup a user would actually see.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"gcbench"
+)
+
+// system is one configuration under evaluation.
+type system struct {
+	name    string
+	workers int
+}
+
+func main() {
+	systems := []system{
+		{"cfg-A (1 worker)", 1},
+		{"cfg-B (8 workers)", 8},
+	}
+
+	// Ad-hoc ensemble: what a hurried comparison might use — PageRank on
+	// two sizes of one graph family (compare Table 1's single-algorithm
+	// studies).
+	adhoc := []gcbench.Spec{
+		{Algorithm: "PR", NumEdges: 30000, Alpha: 2.0, SizeLabel: "3e4", Seed: 1},
+		{Algorithm: "PR", NumEdges: 100000, Alpha: 2.0, SizeLabel: "1e5", Seed: 2},
+	}
+
+	// Designed ensemble: algorithm + graph diversity per §5.4 — the
+	// algorithms the paper finds most useful (KM, ALS, TC) plus a
+	// frontier algorithm, over varied structure.
+	designed := []gcbench.Spec{
+		{Algorithm: "KM", NumEdges: 30000, Alpha: 2.0, SizeLabel: "3e4", Seed: 3},
+		{Algorithm: "ALS", NumEdges: 10000, Alpha: 3.0, SizeLabel: "1e4", Seed: 4},
+		{Algorithm: "TC", NumEdges: 100000, Alpha: 2.0, SizeLabel: "1e5", Seed: 5},
+		{Algorithm: "SSSP", NumEdges: 100000, Alpha: 3.0, SizeLabel: "1e5", Seed: 6},
+		{Algorithm: "SGD", NumEdges: 30000, Alpha: 2.5, SizeLabel: "3e4", Seed: 7},
+	}
+
+	fmt.Println("=== ad-hoc ensemble (PageRank only) ===")
+	adhocRatio := compare(systems, adhoc)
+	fmt.Println("\n=== designed ensemble (algorithm + graph diversity) ===")
+	designedRatio := compare(systems, designed)
+
+	fmt.Printf("\nad-hoc study's cfg-B speedup estimate:   %.2fx\n", adhocRatio)
+	fmt.Printf("designed study's cfg-B speedup estimate: %.2fx\n", designedRatio)
+	fmt.Println("\nA single-algorithm study samples one corner of the behavior space;")
+	fmt.Println("per the paper, conclusions drawn from it do not transfer (§1, §5.2).")
+}
+
+// compare times each system over the ensemble and returns the geometric
+// mean speedup of the second system over the first.
+func compare(systems []system, specs []gcbench.Spec) float64 {
+	times := make([][]time.Duration, len(systems))
+	for si, sys := range systems {
+		for _, spec := range specs {
+			start := time.Now()
+			if _, err := gcbench.Sweep([]gcbench.Spec{spec},
+				gcbench.SweepConfig{Workers: sys.workers, Parallel: 1}); err != nil {
+				log.Fatal(err)
+			}
+			times[si] = append(times[si], time.Since(start))
+		}
+	}
+	fmt.Printf("%-24s", "run")
+	for _, sys := range systems {
+		fmt.Printf("  %22s", sys.name)
+	}
+	fmt.Println("  speedup")
+	geo := 1.0
+	for i, spec := range specs {
+		ratio := float64(times[0][i]) / float64(times[1][i])
+		geo *= ratio
+		fmt.Printf("%-24s", spec.ID())
+		for si := range systems {
+			fmt.Printf("  %22s", times[si][i].Round(time.Millisecond))
+		}
+		fmt.Printf("  %6.2fx\n", ratio)
+	}
+	n := float64(len(specs))
+	return math.Pow(geo, 1/n)
+}

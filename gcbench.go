@@ -1,0 +1,268 @@
+// Package gcbench is a from-scratch Go reproduction of "Understanding
+// Graph Computation Behavior to Enable Robust Benchmarking" (Yang & Chien,
+// HPDC 2015): a synchronous Gather-Apply-Scatter graph engine instrumented
+// with the paper's five behavior metrics, the fourteen graph algorithms of
+// its study, synthetic graph generators for every workload domain, and the
+// spread/coverage ensemble methodology for designing graph benchmarks.
+//
+// The typical workflow mirrors the paper:
+//
+//	specs, _ := gcbench.BuildPlan(gcbench.ProfileQuick, 42)   // Table 2
+//	runs, _ := gcbench.Sweep(specs, gcbench.SweepConfig{})    // §4 corpus
+//	corpus, _ := gcbench.NewCorpus(runs)                      // §5 space
+//	rep, _ := gcbench.Figure(corpus, "18", gcbench.FigureOptions{})
+//	rep.Render(os.Stdout)                                     // Figure 18
+//
+// Individual algorithms can be run directly on generated graphs:
+//
+//	g, _ := gcbench.PowerLaw(gcbench.PowerLawConfig{NumEdges: 1e5, Alpha: 2.2, Seed: 1})
+//	out, ranks, _ := gcbench.PageRank(g, gcbench.PageRankOptions{})
+//
+// Vertex-program authors who want to add algorithms use the generic engine
+// in internal/engine by vendoring or forking; the stable surface here is
+// the benchmarking methodology.
+package gcbench
+
+import (
+	"gcbench/internal/algorithms"
+	"gcbench/internal/behavior"
+	"gcbench/internal/ensemble"
+	"gcbench/internal/gen"
+	"gcbench/internal/graph"
+	"gcbench/internal/predict"
+	"gcbench/internal/report"
+	"gcbench/internal/sweep"
+)
+
+// --- Graphs ---
+
+// Graph is the immutable CSR graph all algorithms run on.
+type Graph = graph.Graph
+
+// Builder accumulates edges into a Graph.
+type Builder = graph.Builder
+
+// MRF is a pairwise Markov Random Field (LBP and DD input).
+type MRF = graph.MRF
+
+// MatrixSystem is a sparse diagonally dominant linear system (Jacobi input).
+type MatrixSystem = gen.MatrixSystem
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder { return graph.NewBuilder(n, directed) }
+
+// ReadEdgeList, WriteEdgeList, ReadUAI and WriteUAI are the graph I/O
+// entry points.
+var (
+	ReadEdgeList  = graph.ReadEdgeList
+	WriteEdgeList = graph.WriteEdgeList
+	ReadUAI       = graph.ReadUAI
+	WriteUAI      = graph.WriteUAI
+)
+
+// --- Generators (§3.2 datasets) ---
+
+// PowerLawConfig parameterizes a scale-free graph (nedges, alpha).
+type PowerLawConfig = gen.PowerLawConfig
+
+// BipartiteConfig parameterizes a CF rating graph.
+type BipartiteConfig = gen.BipartiteConfig
+
+// JacobiConfig parameterizes the linear-solver matrix workload.
+type JacobiConfig = gen.JacobiConfig
+
+// GridConfig parameterizes the LBP pixel-grid workload.
+type GridConfig = gen.GridConfig
+
+// MRFConfig parameterizes the DD random-field workload.
+type MRFConfig = gen.MRFConfig
+
+// RMATConfig parameterizes a recursive-matrix (Graph 500 style) graph.
+type RMATConfig = gen.RMATConfig
+
+// ErdosRenyiConfig parameterizes a uniform random graph.
+type ErdosRenyiConfig = gen.ErdosRenyiConfig
+
+// Generator entry points for each workload domain.
+var (
+	PowerLaw         = gen.PowerLaw
+	Bipartite        = gen.Bipartite
+	Matrix           = gen.Matrix
+	Grid             = gen.Grid
+	RandomMRF        = gen.MRF
+	GaussianPoints2D = gen.GaussianPoints2D
+	RMAT             = gen.RMAT
+	ErdosRenyi       = gen.ErdosRenyi
+	DegreeCV         = gen.DegreeCV
+)
+
+// --- Algorithms (§2.1) ---
+
+// AlgorithmOptions configures any algorithm run.
+type AlgorithmOptions = algorithms.Options
+
+// Output bundles a run's behavior trace and summary statistics.
+type Output = algorithms.Output
+
+// Per-algorithm option types.
+type (
+	PageRankOptions = algorithms.PageRankOptions
+	KMeansOptions   = algorithms.KMeansOptions
+	ALSOptions      = algorithms.ALSOptions
+	NMFOptions      = algorithms.NMFOptions
+	SGDOptions      = algorithms.SGDOptions
+	SVDOptions      = algorithms.SVDOptions
+	JacobiOptions   = algorithms.JacobiOptions
+	LBPOptions      = algorithms.LBPOptions
+	DDOptions       = algorithms.DDOptions
+)
+
+// The fourteen graph computations of the study.
+var (
+	ConnectedComponents            = algorithms.ConnectedComponents
+	KCoreDecomposition             = algorithms.KCoreDecomposition
+	TriangleCounting               = algorithms.TriangleCounting
+	SingleSourceShortestPath       = algorithms.SingleSourceShortestPath
+	PageRank                       = algorithms.PageRank
+	ApproximateDiameter            = algorithms.ApproximateDiameter
+	KMeans                         = algorithms.KMeans
+	AlternatingLeastSquares        = algorithms.AlternatingLeastSquares
+	NonnegativeMatrixFactorization = algorithms.NonnegativeMatrixFactorization
+	StochasticGradientDescent      = algorithms.StochasticGradientDescent
+	SingularValueDecomposition     = algorithms.SingularValueDecomposition
+	JacobiSolve                    = algorithms.JacobiSolve
+	LoopyBeliefPropagation         = algorithms.LoopyBeliefPropagation
+	DualDecomposition              = algorithms.DualDecomposition
+)
+
+// AlgorithmName identifies one of the fourteen algorithms by its paper
+// abbreviation.
+type AlgorithmName = algorithms.Name
+
+// Algorithm name helpers.
+var (
+	AllAlgorithms  = algorithms.AllNames
+	ParseAlgorithm = algorithms.Parse
+)
+
+// --- Behavior space (§5.1) ---
+
+// Vector is a point in the 4-D behavior space <UPDT, WORK, EREAD, MSG>.
+type Vector = behavior.Vector
+
+// Run is one measured graph computation.
+type Run = behavior.Run
+
+// Space is a max-normalized run collection.
+type Space = behavior.Space
+
+// NewSpace normalizes a run collection; Distance is the space's metric.
+var (
+	NewSpace = behavior.NewSpace
+	Distance = behavior.Distance
+)
+
+// --- Sweeps (Table 2 campaigns) ---
+
+// Spec identifies one graph computation of the campaign.
+type Spec = sweep.Spec
+
+// Profile selects the campaign scale.
+type Profile = sweep.Profile
+
+// Campaign profiles.
+const (
+	ProfileQuick    = sweep.ProfileQuick
+	ProfileStandard = sweep.ProfileStandard
+	ProfileLarge    = sweep.ProfileLarge
+)
+
+// SweepConfig controls campaign execution.
+type SweepConfig = sweep.Config
+
+// Campaign construction, execution and persistence. ExportSuite writes a
+// designed ensemble's workload files (edge lists, UAI MRFs) so the suite
+// can be carried to any graph-processing system.
+var (
+	BuildPlan   = sweep.BuildPlan
+	Sweep       = sweep.Execute
+	SaveRuns    = sweep.SaveRunsFile
+	LoadRuns    = sweep.LoadRunsFile
+	ExportSuite = sweep.ExportSuite
+)
+
+// --- Ensembles (§5) ---
+
+// CoverageEstimator Monte-Carlo-estimates ensemble coverage.
+type CoverageEstimator = ensemble.CoverageEstimator
+
+// Scored is an ensemble with its metric value.
+type Scored = ensemble.Scored
+
+// Ensemble metrics and searches.
+var (
+	Spread               = ensemble.Spread
+	NewCoverageEstimator = ensemble.NewCoverageEstimator
+	BestSpreadExhaustive = ensemble.BestSpreadExhaustive
+	BestSpreadGreedy     = ensemble.BestSpreadGreedy
+	BestCoverageGreedy   = ensemble.BestCoverageGreedy
+	TopEnsembles         = ensemble.TopEnsembles
+	UpperBoundSpread     = ensemble.UpperBoundSpread
+	UpperBoundCoverage   = ensemble.UpperBoundCoverage
+)
+
+// Metric selects a top-K objective.
+type Metric = ensemble.Metric
+
+// Top-K objectives.
+const (
+	MetricSpread   = ensemble.MetricSpread
+	MetricCoverage = ensemble.MetricCoverage
+)
+
+// TopKOptions configures TopEnsembles.
+type TopKOptions = ensemble.TopKOptions
+
+// AnnealOptions configures simulated-annealing ensemble design.
+type AnnealOptions = ensemble.AnnealOptions
+
+// Simulated-annealing searches (stronger than greedy+exchange; see §7).
+var (
+	AnnealSpread   = ensemble.AnnealSpread
+	AnnealCoverage = ensemble.AnnealCoverage
+)
+
+// --- Behavior prediction (§7 future work) ---
+
+// Predictor interpolates behavior vectors from a measured corpus.
+type Predictor = predict.Predictor
+
+// PredictQuery identifies the computation to predict.
+type PredictQuery = predict.Query
+
+// Prediction is an interpolated behavior estimate.
+type Prediction = predict.Prediction
+
+// Predictor construction and evaluation.
+var (
+	NewPredictor       = predict.New
+	PredictLeaveOneOut = predict.LeaveOneOut
+)
+
+// --- Reports (figures and tables) ---
+
+// Corpus is the normalized analysis view of a run collection.
+type Corpus = report.Corpus
+
+// FigureOptions tunes figure generation.
+type FigureOptions = report.FigureOptions
+
+// Report is a rendered figure/table reproduction.
+type Report = report.Report
+
+// Figure builders and helpers.
+var (
+	NewCorpus = report.NewCorpus
+	Figure    = report.Figure
+	FigureIDs = report.FigureIDs
+)

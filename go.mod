@@ -1,0 +1,3 @@
+module gcbench
+
+go 1.22

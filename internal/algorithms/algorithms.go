@@ -1,0 +1,112 @@
+// Package algorithms implements the paper's fourteen graph computations as
+// GAS vertex programs (§2.1):
+//
+//   - Graph Analytics: Connected Components (CC), K-Core decomposition
+//     (KC), Triangle Counting (TC), Single-Source Shortest Path (SSSP),
+//     PageRank (PR), Approximate Diameter (AD);
+//   - Clustering: K-Means (KM);
+//   - Collaborative Filtering: Alternating Least Squares (ALS),
+//     Non-negative Matrix Factorization (NMF), Stochastic Gradient Descent
+//     (SGD), Singular Value Decomposition (SVD, restarted Lanczos);
+//   - Linear solver: Jacobi;
+//   - Graphical models: Loopy Belief Propagation (LBP), Dual
+//     Decomposition (DD).
+//
+// Every algorithm returns the engine's per-iteration behavior trace, from
+// which the behavior-space vectors of §5 are computed.
+package algorithms
+
+import (
+	"fmt"
+	"strings"
+
+	"gcbench/internal/engine"
+	"gcbench/internal/trace"
+)
+
+// Options configures an algorithm run.
+type Options struct {
+	// Workers is the engine parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxIterations caps the engine; 0 means the engine default. Most
+	// algorithms converge on their own; NMF and SGD self-cap at 20
+	// iterations as in the paper (§3.3).
+	MaxIterations int
+}
+
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{Workers: o.Workers, MaxIterations: o.MaxIterations}
+}
+
+// Output bundles a run's behavior trace with algorithm-specific summary
+// statistics (e.g. number of components, triangle count, top singular
+// value) for correctness checks and reporting.
+type Output struct {
+	Trace   *trace.RunTrace
+	Summary map[string]float64
+}
+
+// Name identifies an algorithm in sweeps, reports and ensemble tables.
+type Name string
+
+// Algorithm names, using the paper's abbreviations.
+const (
+	CC     Name = "CC"
+	KC     Name = "KC"
+	TC     Name = "TC"
+	SSSP   Name = "SSSP"
+	PR     Name = "PR"
+	AD     Name = "AD"
+	KM     Name = "KM"
+	ALS    Name = "ALS"
+	NMF    Name = "NMF"
+	SGD    Name = "SGD"
+	SVD    Name = "SVD"
+	Jacobi Name = "Jacobi"
+	LBP    Name = "LBP"
+	DD     Name = "DD"
+)
+
+// AllNames lists every algorithm in the paper's presentation order.
+func AllNames() []Name {
+	return []Name{CC, KC, TC, SSSP, PR, AD, KM, ALS, NMF, SGD, SVD, Jacobi, LBP, DD}
+}
+
+// Parse resolves a case-insensitive algorithm name.
+func Parse(s string) (Name, error) {
+	for _, n := range AllNames() {
+		if strings.EqualFold(s, string(n)) {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("algorithms: unknown algorithm %q (known: %v)", s, AllNames())
+}
+
+// Domain returns the paper's application domain of an algorithm.
+func (n Name) Domain() string {
+	switch n {
+	case CC, KC, TC, SSSP, PR, AD:
+		return "Graph Analytics"
+	case KM:
+		return "Clustering"
+	case ALS, NMF, SGD, SVD:
+		return "Collaborative Filtering"
+	case Jacobi:
+		return "Linear Solver"
+	case LBP, DD:
+		return "Graphical Model"
+	default:
+		return "Unknown"
+	}
+}
+
+// ConstantBehavior reports whether the algorithm keeps all vertices active
+// with repetitive per-iteration behavior — the property §5.6 exploits to
+// shorten runs (AD, KM, NMF, SGD, SVD).
+func (n Name) ConstantBehavior() bool {
+	switch n {
+	case AD, KM, NMF, SGD, SVD:
+		return true
+	}
+	return false
+}

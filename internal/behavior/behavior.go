@@ -1,0 +1,192 @@
+// Package behavior defines the paper's graph-computation behavior space
+// (§5.1): Behavior(GC) = <UPDT, WORK, EREAD, MSG>, a 4-dimensional vector
+// per graph computation, where each component is the per-iteration average
+// divided by the number of edges (per-edge behavior, §3.4) and then
+// max-normalized to ≤ 1.0 across the run collection.
+package behavior
+
+import (
+	"fmt"
+	"math"
+
+	"gcbench/internal/trace"
+)
+
+// Dims is the dimensionality of the behavior space.
+const Dims = 4
+
+// Dimension indices into a Vector.
+const (
+	UPDT = iota
+	WORK
+	EREAD
+	MSG
+)
+
+// DimNames lists the dimension labels in index order.
+var DimNames = [Dims]string{"UPDT", "WORK", "EREAD", "MSG"}
+
+// Vector is a point in the behavior space.
+type Vector [Dims]float64
+
+// Distance returns the Euclidean distance between two behavior vectors —
+// the d(·,·) of the spread and coverage definitions.
+func Distance(a, b Vector) float64 {
+	var s float64
+	for i := 0; i < Dims; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Run is one graph computation: the <algorithm, graph size, degree
+// distribution> tuple of §5.1 plus its measured raw behavior.
+type Run struct {
+	// Algorithm is the paper abbreviation (CC, KC, …).
+	Algorithm string `json:"algorithm"`
+	// Domain is the application domain.
+	Domain string `json:"domain"`
+	// NumEdges is the graph scale parameter (Table 2's nedges, or nrows
+	// recorded as edges for the solver workloads).
+	NumEdges int64 `json:"numEdges"`
+	// Alpha is the degree-distribution exponent (0 when not applicable).
+	Alpha float64 `json:"alpha"`
+	// SizeLabel is the human-readable scale (e.g. "1e5").
+	SizeLabel string `json:"sizeLabel"`
+
+	// Iterations is the run length.
+	Iterations int `json:"iterations"`
+	// Converged reports whether the run ended by its own criterion.
+	Converged bool `json:"converged"`
+	// ActiveFraction is the per-iteration activity series.
+	ActiveFraction []float64 `json:"activeFraction"`
+
+	// Raw holds the pre-normalization per-edge metric means:
+	// updates/iter/edge, apply-seconds/iter/edge, reads/iter/edge,
+	// messages/iter/edge.
+	Raw Vector `json:"raw"`
+}
+
+// ID renders the run's identifying tuple.
+func (r *Run) ID() string {
+	if r.Alpha == 0 {
+		return fmt.Sprintf("<%s, %s>", r.Algorithm, r.SizeLabel)
+	}
+	return fmt.Sprintf("<%s, %s, %.2f>", r.Algorithm, r.SizeLabel, r.Alpha)
+}
+
+// FromTrace extracts the raw per-edge behavior vector from a run trace.
+func FromTrace(t *trace.RunTrace) Vector {
+	edges := float64(t.NumEdges)
+	if edges == 0 {
+		return Vector{}
+	}
+	return Vector{
+		UPDT:  t.MeanUpdates() / edges,
+		WORK:  t.MeanApplySeconds() / edges,
+		EREAD: t.MeanEdgeReads() / edges,
+		MSG:   t.MeanMessages() / edges,
+	}
+}
+
+// Space is a normalized collection of runs: every dimension is scaled by
+// the collection-wide maximum so all coordinates lie in [0, 1], making
+// distances comparable across dimensions ("we also normalize these metrics
+// to make it less than 1.0 for highlighting the relative difference",
+// §3.4).
+type Space struct {
+	Runs   []*Run
+	Points []Vector
+	// Max holds the per-dimension raw maxima used for normalization.
+	Max Vector
+}
+
+// NewSpace normalizes a run collection into a behavior space.
+func NewSpace(runs []*Run) (*Space, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("behavior: empty run collection")
+	}
+	s := &Space{Runs: runs, Points: make([]Vector, len(runs))}
+	for _, r := range runs {
+		for d := 0; d < Dims; d++ {
+			if math.IsNaN(r.Raw[d]) || math.IsInf(r.Raw[d], 0) || r.Raw[d] < 0 {
+				return nil, fmt.Errorf("behavior: run %s has invalid %s = %v",
+					r.ID(), DimNames[d], r.Raw[d])
+			}
+			if r.Raw[d] > s.Max[d] {
+				s.Max[d] = r.Raw[d]
+			}
+		}
+	}
+	for i, r := range runs {
+		for d := 0; d < Dims; d++ {
+			if s.Max[d] > 0 {
+				s.Points[i][d] = r.Raw[d] / s.Max[d]
+			}
+		}
+	}
+	return s, nil
+}
+
+// Point returns the normalized behavior vector of run i.
+func (s *Space) Point(i int) Vector { return s.Points[i] }
+
+// Len returns the number of runs.
+func (s *Space) Len() int { return len(s.Runs) }
+
+// Filter returns the indices of runs matching pred.
+func (s *Space) Filter(pred func(*Run) bool) []int {
+	var idx []int
+	for i, r := range s.Runs {
+		if pred(r) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ByAlgorithm groups run indices by algorithm name.
+func (s *Space) ByAlgorithm() map[string][]int {
+	m := make(map[string][]int)
+	for i, r := range s.Runs {
+		m[r.Algorithm] = append(m[r.Algorithm], i)
+	}
+	return m
+}
+
+// ByGraph groups run indices by the (SizeLabel, Alpha) graph-structure
+// key, the grouping of the single-graph ensembles (§5.3).
+func (s *Space) ByGraph() map[string][]int {
+	m := make(map[string][]int)
+	for i, r := range s.Runs {
+		key := fmt.Sprintf("%s/α=%.2f", r.SizeLabel, r.Alpha)
+		m[key] = append(m[key], i)
+	}
+	return m
+}
+
+// RangeRatio returns, per dimension, max/min over strictly positive raw
+// values — the "1000-fold variation" headline of contribution (1).
+func RangeRatio(runs []*Run) Vector {
+	var out Vector
+	for d := 0; d < Dims; d++ {
+		minV, maxV := math.Inf(1), 0.0
+		for _, r := range runs {
+			v := r.Raw[d]
+			if v <= 0 {
+				continue
+			}
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if maxV > 0 && !math.IsInf(minV, 1) {
+			out[d] = maxV / minV
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// bitset is a fixed-size bitmap over vertex IDs with an atomic Set for the
+// concurrent scatter phase.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set marks bit i. Safe for concurrent use.
+func (b *bitset) Set(i uint32) {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (i & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// SetSerial marks bit i without synchronization (single-goroutine phases).
+func (b *bitset) SetSerial(i uint32) {
+	b.words[i>>6] |= uint64(1) << (i & 63)
+}
+
+// Get reports whether bit i is set. Not synchronized with concurrent Set.
+func (b *bitset) Get(i uint32) bool {
+	return b.words[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// Clear zeroes the whole set.
+func (b *bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetAll marks every bit in [0, n).
+func (b *bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// Mask the tail beyond n.
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (uint64(1) << rem) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *bitset) Count() int64 {
+	var c int64
+	for _, w := range b.words {
+		c += int64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// Range calls fn for every set bit in the half-open vertex range [lo, hi).
+// lo and hi must be multiples of 64 or the ends of the set.
+func (b *bitset) Range(lo, hi uint32, fn func(v uint32)) {
+	wLo, wHi := int(lo>>6), int((hi+63)>>6)
+	if wHi > len(b.words) {
+		wHi = len(b.words)
+	}
+	for wi := wLo; wi < wHi; wi++ {
+		w := b.words[wi]
+		base := uint32(wi) << 6
+		for w != 0 {
+			bit := uint32(bits.TrailingZeros64(w))
+			v := base + bit
+			if v >= hi {
+				return
+			}
+			if v >= lo {
+				fn(v)
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130)
+	if b.Count() != 0 {
+		t.Fatalf("fresh bitset count = %d", b.Count())
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 4 {
+		t.Fatalf("count = %d, want 4", b.Count())
+	}
+	for _, i := range []uint32{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Fatal("unexpected bit set")
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatalf("count after clear = %d", b.Count())
+	}
+}
+
+func TestBitsetSetAllMasksTail(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 1000} {
+		b := newBitset(n)
+		b.SetAll()
+		if got := b.Count(); got != int64(n) {
+			t.Fatalf("n=%d: SetAll count = %d", n, got)
+		}
+	}
+}
+
+func TestBitsetRange(t *testing.T) {
+	b := newBitset(300)
+	want := []uint32{0, 5, 63, 64, 130, 299}
+	for _, v := range want {
+		b.SetSerial(v)
+	}
+	var got []uint32
+	b.Range(0, 300, func(v uint32) { got = append(got, v) })
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v", got, want)
+		}
+	}
+	// Sub-range on word boundaries.
+	got = nil
+	b.Range(64, 192, func(v uint32) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 64 || got[1] != 130 {
+		t.Fatalf("sub-range visited %v, want [64 130]", got)
+	}
+}
+
+func TestBitsetConcurrentSet(t *testing.T) {
+	const n = 1 << 16
+	b := newBitset(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint32(w); i < n; i += 8 {
+				b.Set(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("concurrent Set lost bits: %d of %d", b.Count(), n)
+	}
+}

@@ -1,0 +1,445 @@
+// Package engine implements the synchronous Gather-Apply-Scatter (GAS)
+// computation model of GraphLab/PowerGraph (§3.3 of the paper), with the
+// instrumentation the paper's behavior characterization is built on.
+//
+// Graph computation is expressed vertex-centrically. Each vertex is active
+// or inactive; only active vertices compute. One iteration runs three
+// phases without overlap, each a barrier across all vertices:
+//
+//   - Gather collects data through adjacent edges (each per-edge collect is
+//     an "edge read", counted toward EREAD);
+//   - Apply runs user computation on the central vertex (counted toward
+//     UPDT, timed toward WORK);
+//   - Scatter sends activation signals to neighbors (each signal is a
+//     "message", counted toward MSG). Only signaled vertices are active in
+//     the next iteration.
+//
+// The computation ends when no vertices are active, when the program's
+// optional convergence hook says so, or at the iteration cap.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcbench/internal/graph"
+	"gcbench/internal/trace"
+)
+
+// Direction selects which adjacent edges a phase visits.
+type Direction int
+
+const (
+	// None visits no edges.
+	None Direction = iota
+	// In visits in-edges (for undirected graphs, all incident edges).
+	In
+	// Out visits out-edges (for undirected graphs, all incident edges).
+	Out
+	// Both visits in- and out-edges (directed graphs only; undirected
+	// graphs treat it as Out to avoid double-visiting).
+	Both
+)
+
+// Arc describes one edge endpoint visit during gather or scatter.
+type Arc struct {
+	// Index is the canonical out-arc index of this edge in CSR order —
+	// stable across gather directions, usable to index per-arc program
+	// state such as belief-propagation messages.
+	Index int64
+	// Other is the neighbor vertex on the far side of the edge.
+	Other uint32
+	// Weight is the edge weight (1 for unweighted graphs).
+	Weight float64
+}
+
+// Program is a vertex program in the GAS model, generic over the vertex
+// state S and the gather accumulator A.
+//
+// Within one iteration, Gather for every active vertex runs before any
+// Apply, and every Apply before any Scatter, so Gather observes the state
+// of the previous iteration and Scatter observes fully applied state —
+// GraphLab's synchronous semantics.
+type Program[S, A any] interface {
+	// Init returns vertex v's initial state and whether it starts active.
+	Init(g *graph.Graph, v uint32) (state S, active bool)
+
+	// GatherDirection selects the edges Gather visits.
+	GatherDirection() Direction
+	// Gather computes the contribution of one edge. self is the central
+	// vertex's state, other the neighbor's.
+	Gather(v uint32, e Arc, self, other S) A
+	// Sum combines two gather contributions (must be commutative and
+	// associative for deterministic parallel execution over a vertex's
+	// sequential edge scan).
+	Sum(a, b A) A
+
+	// Apply computes v's next state. hasAcc is false when no edges were
+	// gathered (isolated vertex or GatherDirection None).
+	Apply(v uint32, self S, acc A, hasAcc bool) S
+
+	// ScatterDirection selects the edges Scatter visits.
+	ScatterDirection() Direction
+	// Scatter inspects one edge after Apply and reports whether to signal
+	// (activate) the neighbor for the next iteration.
+	Scatter(v uint32, e Arc, self, other S) bool
+}
+
+// PreIterator is an optional Program extension: PreIteration runs serially
+// before each iteration's gather phase (GraphLab's aggregator slot —
+// K-Means recomputes centroids here).
+type PreIterator[S any] interface {
+	PreIteration(c *Control[S])
+}
+
+// PostIterator is an optional Program extension: PostIteration runs
+// serially after the scatter phase; returning true halts the computation.
+// Drivers like K-Core's k-level advance and the Lanczos loop live here.
+type PostIterator[S any] interface {
+	PostIteration(c *Control[S]) (halt bool)
+}
+
+// Control exposes engine state to Pre/PostIteration hooks.
+type Control[S any] struct {
+	eng interface {
+		graphRef() *graph.Graph
+		iterationRef() int
+		stateAny() any
+		activateNext(v uint32)
+		activateAllNext()
+		nextCount() int64
+	}
+}
+
+// Graph returns the graph under computation.
+func (c *Control[S]) Graph() *graph.Graph { return c.eng.graphRef() }
+
+// Iteration returns the current 0-based iteration number.
+func (c *Control[S]) Iteration() int { return c.eng.iterationRef() }
+
+// States returns the live vertex state slice. Hooks may mutate it.
+func (c *Control[S]) States() []S { return c.eng.stateAny().([]S) }
+
+// Activate marks v active for the next iteration without sending a
+// message (driver-level activation, not counted toward MSG).
+func (c *Control[S]) Activate(v uint32) { c.eng.activateNext(v) }
+
+// ActivateAll marks every vertex active for the next iteration.
+func (c *Control[S]) ActivateAll() { c.eng.activateAllNext() }
+
+// NextActiveCount returns how many vertices are currently marked active
+// for the next iteration.
+func (c *Control[S]) NextActiveCount() int64 { return c.eng.nextCount() }
+
+// Options configures a run.
+type Options struct {
+	// MaxIterations caps the run; 0 means DefaultMaxIterations.
+	MaxIterations int
+	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultMaxIterations bounds runs whose convergence criterion never
+// fires (the paper caps NMF and SGD at 20 iterations at the algorithm
+// level; this engine-level cap is a safety net).
+const DefaultMaxIterations = 100000
+
+// Result carries a finished computation's trace and final states.
+type Result[S any] struct {
+	Trace  *trace.RunTrace
+	States []S
+}
+
+// Run executes the program to convergence and returns its trace and final
+// vertex states.
+func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("engine: nil or empty graph")
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	if workers > n {
+		workers = n
+	}
+
+	e := &engine[S, A]{
+		g:        g,
+		p:        p,
+		workers:  workers,
+		state:    make([]S, n),
+		acc:      make([]A, n),
+		hasAcc:   make([]bool, n),
+		cur:      newBitset(n),
+		next:     newBitset(n),
+		gatherD:  normalizeDir(g, p.GatherDirection()),
+		scatterD: normalizeDir(g, p.ScatterDirection()),
+	}
+
+	// Initialize states and the initial frontier.
+	for v := uint32(0); int(v) < n; v++ {
+		s, active := p.Init(g, v)
+		e.state[v] = s
+		if active {
+			e.cur.SetSerial(v)
+		}
+	}
+
+	pre, _ := any(p).(PreIterator[S])
+	post, _ := any(p).(PostIterator[S])
+	ctl := &Control[S]{eng: e}
+
+	tr := &trace.RunTrace{
+		NumVertices: n,
+		NumEdges:    g.NumEdges(),
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		active := e.cur.Count()
+		if active == 0 {
+			tr.Converged = true
+			break
+		}
+		e.iter = iter
+		start := time.Now()
+
+		if pre != nil {
+			pre.PreIteration(ctl)
+		}
+
+		edgeReads := e.gatherPhase()
+		updates, applyTime := e.applyPhase()
+		messages := e.scatterPhase()
+
+		halt := false
+		if post != nil {
+			halt = post.PostIteration(ctl)
+		}
+
+		tr.Iterations = append(tr.Iterations, trace.IterationStats{
+			Iteration: iter,
+			Active:    active,
+			Updates:   updates,
+			EdgeReads: edgeReads,
+			Messages:  messages,
+			ApplyTime: applyTime,
+			WallTime:  time.Since(start),
+		})
+
+		// Swap frontiers.
+		e.cur, e.next = e.next, e.cur
+		e.next.Clear()
+
+		if halt {
+			tr.Converged = true
+			break
+		}
+	}
+
+	return &Result[S]{Trace: tr, States: e.state}, nil
+}
+
+// normalizeDir collapses In/Both to Out for undirected graphs, whose two
+// CSR sides are identical.
+func normalizeDir(g *graph.Graph, d Direction) Direction {
+	if !g.Directed() && (d == In || d == Both) {
+		return Out
+	}
+	return d
+}
+
+// engine holds the run's mutable state.
+type engine[S, A any] struct {
+	g        *graph.Graph
+	p        Program[S, A]
+	workers  int
+	state    []S
+	acc      []A
+	hasAcc   []bool
+	cur      *bitset
+	next     *bitset
+	gatherD  Direction
+	scatterD Direction
+	iter     int
+}
+
+// Control plumbing (untyped so Control[S] needs no second type parameter).
+func (e *engine[S, A]) graphRef() *graph.Graph { return e.g }
+func (e *engine[S, A]) iterationRef() int      { return e.iter }
+func (e *engine[S, A]) stateAny() any          { return e.state }
+func (e *engine[S, A]) activateNext(v uint32)  { e.next.SetSerial(v) }
+func (e *engine[S, A]) activateAllNext()       { e.next.SetAll() }
+func (e *engine[S, A]) nextCount() int64       { return e.next.Count() }
+
+// chunkSize is the dynamic scheduling granule in vertices. Word-aligned
+// (multiple of 64) so concurrent bitset scans never share a word.
+const chunkSize = 4096
+
+// parallelChunks deals word-aligned vertex chunks to workers through an
+// atomic cursor (hub vertices in power-law graphs make static partitions
+// imbalanced) and calls fn once per chunk.
+func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
+	n := uint32(e.g.NumVertices())
+	numChunks := (int64(n) + chunkSize - 1) / chunkSize
+	if e.workers == 1 || numChunks == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := cursor.Add(1) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := uint32(c * chunkSize)
+				hi := lo + chunkSize
+				if hi > n {
+					hi = n
+				}
+				fn(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelOverActive runs fn(worker, v) for every active vertex.
+func (e *engine[S, A]) parallelOverActive(fn func(worker int, v uint32)) {
+	e.parallelChunks(func(worker int, lo, hi uint32) {
+		e.cur.Range(lo, hi, func(v uint32) { fn(worker, v) })
+	})
+}
+
+// gatherPhase runs Gather+Sum per active vertex and stores accumulators.
+// Returns the total edge reads.
+func (e *engine[S, A]) gatherPhase() int64 {
+	if e.gatherD == None {
+		// Still reset hasAcc for active vertices so Apply sees hasAcc=false.
+		e.parallelOverActive(func(_ int, v uint32) { e.hasAcc[v] = false })
+		return 0
+	}
+	reads := make([]int64, e.workers)
+	e.parallelOverActive(func(worker int, v uint32) {
+		var acc A
+		has := false
+		self := e.state[v]
+		r := int64(0)
+		if e.gatherD == Out || e.gatherD == Both {
+			lo, hi := e.g.OutArcRange(v)
+			for a := lo; a < hi; a++ {
+				arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
+				contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
+				if has {
+					acc = e.p.Sum(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+				r++
+			}
+		}
+		if e.gatherD == In || e.gatherD == Both {
+			lo, hi := e.g.InArcRange(v)
+			for a := lo; a < hi; a++ {
+				out := e.g.InArcToOutArc(a)
+				arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
+				contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
+				if has {
+					acc = e.p.Sum(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+				r++
+			}
+		}
+		e.acc[v] = acc
+		e.hasAcc[v] = has
+		reads[worker] += r
+	})
+	var total int64
+	for _, r := range reads {
+		total += r
+	}
+	return total
+}
+
+// applyPhase runs Apply per active vertex. Each worker times its chunk
+// loops so WORK approximates CPU time in the user apply function without
+// paying a clock read per vertex. Returns the update count and summed
+// apply time.
+func (e *engine[S, A]) applyPhase() (int64, time.Duration) {
+	updates := make([]int64, e.workers)
+	times := make([]time.Duration, e.workers)
+	e.parallelChunks(func(worker int, lo, hi uint32) {
+		t0 := time.Now()
+		var u int64
+		e.cur.Range(lo, hi, func(v uint32) {
+			e.state[v] = e.p.Apply(v, e.state[v], e.acc[v], e.hasAcc[v])
+			u++
+		})
+		if u > 0 {
+			times[worker] += time.Since(t0)
+		}
+		updates[worker] += u
+	})
+	var u int64
+	var d time.Duration
+	for w := 0; w < e.workers; w++ {
+		u += updates[w]
+		d += times[w]
+	}
+	return u, d
+}
+
+// scatterPhase runs Scatter per active vertex and signals neighbors.
+// Returns the message count.
+func (e *engine[S, A]) scatterPhase() int64 {
+	if e.scatterD == None {
+		return 0
+	}
+	msgs := make([]int64, e.workers)
+	e.parallelOverActive(func(worker int, v uint32) {
+		self := e.state[v]
+		m := int64(0)
+		if e.scatterD == Out || e.scatterD == Both {
+			lo, hi := e.g.OutArcRange(v)
+			for a := lo; a < hi; a++ {
+				arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
+				if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
+					e.next.Set(arc.Other)
+					m++
+				}
+			}
+		}
+		if e.scatterD == In || e.scatterD == Both {
+			lo, hi := e.g.InArcRange(v)
+			for a := lo; a < hi; a++ {
+				out := e.g.InArcToOutArc(a)
+				arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
+				if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
+					e.next.Set(arc.Other)
+					m++
+				}
+			}
+		}
+		msgs[worker] += m
+	})
+	var total int64
+	for _, m := range msgs {
+		total += m
+	}
+	return total
+}

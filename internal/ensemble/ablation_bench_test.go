@@ -1,0 +1,86 @@
+package ensemble
+
+import (
+	"testing"
+
+	"gcbench/internal/behavior"
+)
+
+// Ablation: incremental coverage evaluation (CoverageWith over cached min
+// distances) vs. recomputing the full ensemble coverage per candidate.
+// Greedy selection makes one such call per candidate per step, so this
+// ratio decides whether 1M-sample coverage search is tractable.
+
+func benchPoolAndEstimator(b *testing.B, samples int) (*CoverageEstimator, []behavior.Vector, []float64) {
+	b.Helper()
+	cov, err := NewCoverageEstimator(samples, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := randomPoolB(64, 5)
+	base := pool[:8]
+	minDist := cov.MinDistances(nil, base)
+	return cov, pool, minDist
+}
+
+func randomPoolB(n int, seed uint64) []behavior.Vector {
+	pool := make([]behavior.Vector, n)
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	for i := range pool {
+		for d := 0; d < behavior.Dims; d++ {
+			pool[i][d] = next()
+		}
+	}
+	return pool
+}
+
+func BenchmarkCoverageIncremental(b *testing.B) {
+	cov, pool, minDist := benchPoolAndEstimator(b, 200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov.CoverageWith(minDist, pool[9+i%32])
+	}
+}
+
+func BenchmarkCoverageFullRecompute(b *testing.B) {
+	cov, pool, _ := benchPoolAndEstimator(b, 200_000)
+	base := append([]behavior.Vector(nil), pool[:8]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov.Coverage(append(base, pool[9+i%32]))
+	}
+}
+
+// Ablation: exact subset enumeration vs greedy+exchange for best-spread.
+// Exhaustive is exact but exponential; greedy+exchange is the fallback
+// for the 220-run unrestricted pool.
+
+func BenchmarkBestSpreadExhaustive20(b *testing.B) {
+	pool := randomPoolB(20, 7)
+	idx := make([]int, 20)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestSpreadExhaustive(pool, idx, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestSpreadGreedy220(b *testing.B) {
+	pool := randomPoolB(220, 7)
+	idx := make([]int, 220)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestSpreadGreedy(pool, idx, 10)
+	}
+}

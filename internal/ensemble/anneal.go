@@ -1,0 +1,170 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+
+	"gcbench/internal/behavior"
+	"gcbench/internal/rng"
+)
+
+// Simulated-annealing ensemble design — a stronger optimizer for the §7
+// question "can we design optimal ensembles?". Greedy+exchange stops at
+// the first local optimum; annealing accepts occasional worsening swaps
+// and escapes it. Spread proposals are evaluated in O(k) via the pairwise
+// sum delta; coverage proposals need a full Monte-Carlo evaluation, so
+// coverage annealing should use a moderate sample count.
+
+// AnnealOptions configures the annealing schedule.
+type AnnealOptions struct {
+	// Size is the ensemble size to design.
+	Size int
+	// Steps is the number of proposal steps (default 20000 for spread,
+	// 2000 for coverage).
+	Steps int
+	// InitTemp is the initial temperature relative to the objective scale
+	// (default 0.1).
+	InitTemp float64
+	// Seed selects the proposal stream.
+	Seed uint64
+}
+
+// AnnealSpread searches for a maximum-spread ensemble of the given size
+// from pool[idx], seeded by the greedy solution. Returns the best member
+// set found and its spread.
+func AnnealSpread(pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, float64, error) {
+	if opt.Size < 2 {
+		return nil, 0, fmt.Errorf("ensemble: annealing needs size ≥ 2, got %d", opt.Size)
+	}
+	if opt.Size > len(idx) {
+		return nil, 0, fmt.Errorf("ensemble: size %d exceeds pool %d", opt.Size, len(idx))
+	}
+	steps := opt.Steps
+	if steps == 0 {
+		steps = 20000
+	}
+	temp := opt.InitTemp
+	if temp == 0 {
+		temp = 0.1
+	}
+	r := rng.New(opt.Seed ^ 0xa11ea1)
+
+	// Seed with greedy+exchange.
+	seedSets := BestSpreadGreedy(pool, idx, opt.Size)
+	cur := append([]int(nil), seedSets[opt.Size]...)
+	k := len(cur)
+	inSet := make(map[int]bool, k)
+	for _, m := range cur {
+		inSet[m] = true
+	}
+	// Pairwise sums: distSum[i] = Σ_{j∈cur, j≠i-th} d(cur[i], cur[j]).
+	pairSum := 0.0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairSum += behavior.Distance(pool[cur[i]], pool[cur[j]])
+		}
+	}
+	pairs := float64(k) * float64(k-1) / 2
+	best := append([]int(nil), cur...)
+	bestSum := pairSum
+
+	candidates := idx
+	for step := 0; step < steps; step++ {
+		t := temp * (1 - float64(step)/float64(steps))
+		pos := r.Intn(k)
+		cand := candidates[r.Intn(len(candidates))]
+		if inSet[cand] {
+			continue
+		}
+		old := cur[pos]
+		// Delta: replace old with cand.
+		var removed, added float64
+		for i := 0; i < k; i++ {
+			if i == pos {
+				continue
+			}
+			removed += behavior.Distance(pool[old], pool[cur[i]])
+			added += behavior.Distance(pool[cand], pool[cur[i]])
+		}
+		delta := added - removed
+		if delta >= 0 || r.Float64() < math.Exp(delta/pairs/math.Max(t, 1e-9)) {
+			delete(inSet, old)
+			inSet[cand] = true
+			cur[pos] = cand
+			pairSum += delta
+			if pairSum > bestSum {
+				bestSum = pairSum
+				copy(best, cur)
+			}
+		}
+	}
+	return best, bestSum / pairs, nil
+}
+
+// AnnealCoverage searches for a maximum-coverage ensemble. Each proposal
+// re-evaluates coverage over the estimator's samples, so pass a
+// moderately sized estimator (~20k samples) and refine the winner with a
+// larger one if needed.
+func AnnealCoverage(cov *CoverageEstimator, pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, float64, error) {
+	if opt.Size < 1 {
+		return nil, 0, fmt.Errorf("ensemble: annealing needs size ≥ 1, got %d", opt.Size)
+	}
+	if opt.Size > len(idx) {
+		return nil, 0, fmt.Errorf("ensemble: size %d exceeds pool %d", opt.Size, len(idx))
+	}
+	if cov == nil {
+		return nil, 0, fmt.Errorf("ensemble: coverage annealing needs an estimator")
+	}
+	steps := opt.Steps
+	if steps == 0 {
+		steps = 2000
+	}
+	temp := opt.InitTemp
+	if temp == 0 {
+		temp = 0.1
+	}
+	r := rng.New(opt.Seed ^ 0xc0ffee51)
+
+	seedSets := BestCoverageGreedy(cov, pool, idx, opt.Size)
+	cur := append([]int(nil), seedSets[opt.Size]...)
+	k := len(cur)
+	inSet := make(map[int]bool, k)
+	for _, m := range cur {
+		inSet[m] = true
+	}
+	eval := func(members []int) float64 {
+		pts := make([]behavior.Vector, len(members))
+		for i, m := range members {
+			pts[i] = pool[m]
+		}
+		return cov.Coverage(pts)
+	}
+	curCov := eval(cur)
+	best := append([]int(nil), cur...)
+	bestCov := curCov
+
+	for step := 0; step < steps; step++ {
+		t := temp * (1 - float64(step)/float64(steps))
+		pos := r.Intn(k)
+		cand := idx[r.Intn(len(idx))]
+		if inSet[cand] {
+			continue
+		}
+		old := cur[pos]
+		cur[pos] = cand
+		c := eval(cur)
+		delta := c - curCov
+		if delta >= 0 || r.Float64() < math.Exp(delta/math.Max(curCov, 1e-9)/math.Max(t, 1e-9)) {
+			delete(inSet, old)
+			inSet[cand] = true
+			curCov = c
+			if c > bestCov {
+				bestCov = c
+				copy(best, cur)
+			}
+		} else {
+			cur[pos] = old
+		}
+	}
+	return best, bestCov, nil
+}

@@ -1,0 +1,239 @@
+// Package ensemble implements the paper's ensemble methodology (§5): an
+// ensemble is a set of graph computations, and its quality as a benchmark
+// suite is quantified by two metrics over the behavior space —
+//
+//   - Spread: the mean pairwise Euclidean distance between members
+//     ("dispersion"; higher is better, §5.1);
+//   - Coverage: how close a uniformly random point of the space is, on
+//     average, to its nearest member, reported as the reciprocal of that
+//     mean minimum distance so that thorough sampling scores higher and
+//     the values match the paper's magnitudes (≈4 at 20 well-spread
+//     members; see DESIGN.md §2 for why the reciprocal reading is the
+//     consistent one).
+//
+// The package also provides the ensemble searches behind Figures 14-23 and
+// Table 3: exhaustive subset search for small pools, greedy construction
+// with pairwise-exchange refinement for the unrestricted 215-run corpus,
+// beam-searched top-K enumeration for the §5.5 frequency analysis, and
+// empirical upper bounds from maximally dispersed synthetic point sets.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"gcbench/internal/behavior"
+	"gcbench/internal/rng"
+)
+
+// Spread returns the mean pairwise distance of the given points (§5.1).
+// Ensembles with fewer than two members have zero spread.
+func Spread(points []behavior.Vector) float64 {
+	n := len(points)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += behavior.Distance(points[i], points[j])
+		}
+	}
+	// Mean over ordered pairs N(N-1) equals mean over unordered pairs.
+	return sum / (float64(n) * float64(n-1) / 2)
+}
+
+// SpreadOf evaluates Spread over pool[idx].
+func SpreadOf(pool []behavior.Vector, idx []int) float64 {
+	pts := make([]behavior.Vector, len(idx))
+	for i, j := range idx {
+		pts[i] = pool[j]
+	}
+	return Spread(pts)
+}
+
+// CoverageEstimator Monte-Carlo-samples the unit behavior hypercube once
+// and reuses the sample set for every coverage evaluation, so comparisons
+// between ensembles are exact (same sample noise) and incremental greedy
+// selection is cheap. The paper uses one million samples (§5.1).
+type CoverageEstimator struct {
+	samples []behavior.Vector
+	workers int
+}
+
+// DefaultSamples matches the paper's sample count.
+const DefaultSamples = 1_000_000
+
+// NewCoverageEstimator draws numSamples uniform points with a fixed seed.
+func NewCoverageEstimator(numSamples int, seed uint64) (*CoverageEstimator, error) {
+	if numSamples <= 0 {
+		return nil, fmt.Errorf("ensemble: need a positive sample count, got %d", numSamples)
+	}
+	r := rng.New(seed)
+	samples := make([]behavior.Vector, numSamples)
+	for i := range samples {
+		for d := 0; d < behavior.Dims; d++ {
+			samples[i][d] = r.Float64()
+		}
+	}
+	return &CoverageEstimator{samples: samples, workers: runtime.GOMAXPROCS(0)}, nil
+}
+
+// NumSamples returns the sample count.
+func (c *CoverageEstimator) NumSamples() int { return len(c.samples) }
+
+// Coverage returns NS / Σ min-distance for the ensemble — the reciprocal
+// of the mean distance from a random behavior point to its nearest member.
+func (c *CoverageEstimator) Coverage(points []behavior.Vector) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	minDist := c.MinDistances(nil, points)
+	return c.coverageFromMin(minDist)
+}
+
+func (c *CoverageEstimator) coverageFromMin(minDist []float64) float64 {
+	var sum float64
+	for _, d := range minDist {
+		sum += d
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(minDist)) / sum
+}
+
+// MinDistances returns, per sample, the distance to the nearest of the
+// given points, starting from prev (a previous ensemble's result) when
+// non-nil — the incremental step greedy selection relies on. prev is not
+// modified.
+func (c *CoverageEstimator) MinDistances(prev []float64, points []behavior.Vector) []float64 {
+	out := make([]float64, len(c.samples))
+	if prev == nil {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+	} else {
+		copy(out, prev)
+	}
+	c.parallelSamples(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best := out[i]
+			for _, p := range points {
+				if d := behavior.Distance(c.samples[i], p); d < best {
+					best = d
+				}
+			}
+			out[i] = best
+		}
+	})
+	return out
+}
+
+// CoverageWith evaluates the coverage of prev ∪ {p} given prev's min
+// distances, without allocating a new array per candidate.
+func (c *CoverageEstimator) CoverageWith(prevMin []float64, p behavior.Vector) float64 {
+	partial := make([]float64, c.workers)
+	c.parallelSamplesWorker(func(w, lo, hi int) {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			d := behavior.Distance(c.samples[i], p)
+			if prevMin != nil && prevMin[i] < d {
+				d = prevMin[i]
+			}
+			sum += d
+		}
+		partial[w] += sum
+	})
+	var sum float64
+	for _, s := range partial {
+		sum += s
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(c.samples)) / sum
+}
+
+// LloydRefine improves a set of coverage centers by Lloyd iterations on
+// the estimator's own sample cloud: each sample joins its nearest center,
+// centers move to their cluster means, and the best configuration seen
+// (by coverage) is returned. Because the centers move continuously rather
+// than being restricted to a candidate pool, the result upper-bounds any
+// pool-restricted ensemble of the same size in practice — which is what
+// the paper's empirical coverage upper bound requires.
+func (c *CoverageEstimator) LloydRefine(centers []behavior.Vector, iters int) []behavior.Vector {
+	if len(centers) == 0 {
+		return nil
+	}
+	cur := append([]behavior.Vector(nil), centers...)
+	best := append([]behavior.Vector(nil), centers...)
+	bestCov := c.Coverage(cur)
+	k := len(cur)
+	for it := 0; it < iters; it++ {
+		sums := make([]behavior.Vector, k)
+		counts := make([]float64, k)
+		for _, s := range c.samples {
+			nearest, nd := 0, math.Inf(1)
+			for j, p := range cur {
+				if d := behavior.Distance(s, p); d < nd {
+					nd, nearest = d, j
+				}
+			}
+			for d := 0; d < behavior.Dims; d++ {
+				sums[nearest][d] += s[d]
+			}
+			counts[nearest]++
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				continue
+			}
+			for d := 0; d < behavior.Dims; d++ {
+				cur[j][d] = sums[j][d] / counts[j]
+			}
+		}
+		if cov := c.Coverage(cur); cov > bestCov {
+			bestCov = cov
+			copy(best, cur)
+		}
+	}
+	return best
+}
+
+func (c *CoverageEstimator) parallelSamples(fn func(lo, hi int)) {
+	c.parallelSamplesWorker(func(_, lo, hi int) { fn(lo, hi) })
+}
+
+func (c *CoverageEstimator) parallelSamplesWorker(fn func(w, lo, hi int)) {
+	n := len(c.samples)
+	w := c.workers
+	if w > n {
+		w = n
+	}
+	// Below ~50k samples goroutine fan-out costs more than it saves.
+	if w <= 1 || n < 50_000 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+}

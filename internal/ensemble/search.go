@@ -1,0 +1,223 @@
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+
+	"gcbench/internal/behavior"
+)
+
+// maxExhaustivePool bounds the pool size for exact subset enumeration
+// (2^22 subset DFS nodes stay well under a second).
+const maxExhaustivePool = 22
+
+// BestSpreadExhaustive finds, for every size 1..maxSize, the subset of
+// pool[idx] with maximum spread, by a single DFS over all subsets with an
+// incrementally maintained pairwise-distance sum. Exact, usable for the
+// single-algorithm pools of Figure 14 (20 runs each). Returns best[k] for
+// ensemble size k (best[0] and best[1] are trivial).
+func BestSpreadExhaustive(pool []behavior.Vector, idx []int, maxSize int) ([][]int, error) {
+	n := len(idx)
+	if n > maxExhaustivePool {
+		return nil, fmt.Errorf("ensemble: pool of %d too large for exhaustive search (max %d)", n, maxExhaustivePool)
+	}
+	if maxSize > n {
+		maxSize = n
+	}
+	// Pairwise distances within the pool.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = behavior.Distance(pool[idx[i]], pool[idx[j]])
+		}
+	}
+	bestSum := make([]float64, maxSize+1)
+	bestSet := make([][]int, maxSize+1)
+	for k := range bestSum {
+		bestSum[k] = -1
+	}
+	cur := make([]int, 0, maxSize)
+	var dfs func(start int, sum float64)
+	dfs = func(start int, sum float64) {
+		k := len(cur)
+		if k >= 1 && sum > bestSum[k] {
+			bestSum[k] = sum
+			bestSet[k] = append([]int(nil), cur...)
+		}
+		if k == maxSize {
+			return
+		}
+		for j := start; j < n; j++ {
+			add := 0.0
+			for _, i := range cur {
+				add += dist[i][j]
+			}
+			cur = append(cur, j)
+			dfs(j+1, sum+add)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0, 0)
+
+	out := make([][]int, maxSize+1)
+	for k := 1; k <= maxSize; k++ {
+		set := make([]int, len(bestSet[k]))
+		for i, j := range bestSet[k] {
+			set[i] = idx[j]
+		}
+		out[k] = set
+	}
+	return out, nil
+}
+
+// BestSpreadGreedy grows an ensemble by repeatedly adding the candidate
+// maximizing the resulting spread, then refines each size with pairwise
+// exchange (ImproveSpreadExchange). Used for pools too large to enumerate
+// (the unrestricted 215-run corpus of Figure 18). Returns best[k] for
+// k = 1..maxSize.
+func BestSpreadGreedy(pool []behavior.Vector, idx []int, maxSize int) [][]int {
+	n := len(idx)
+	if maxSize > n {
+		maxSize = n
+	}
+	out := make([][]int, maxSize+1)
+	if n == 0 || maxSize == 0 {
+		return out
+	}
+
+	// Start from the farthest pair (or the single first point for k=1).
+	var a, b int
+	bestD := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := behavior.Distance(pool[idx[i]], pool[idx[j]]); d > bestD {
+				bestD, a, b = d, i, j
+			}
+		}
+	}
+	out[1] = []int{idx[a]}
+
+	members := []int{a, b}
+	// distSum[j] = Σ_{i∈members} d(j, i) for every pool element.
+	distSum := make([]float64, n)
+	for j := 0; j < n; j++ {
+		distSum[j] = behavior.Distance(pool[idx[j]], pool[idx[a]]) +
+			behavior.Distance(pool[idx[j]], pool[idx[b]])
+	}
+	inSet := make([]bool, n)
+	inSet[a], inSet[b] = true, true
+	pairSum := bestD
+
+	emit := func(k int) {
+		set := make([]int, len(members))
+		for i, j := range members {
+			set[i] = idx[j]
+		}
+		out[k] = ImproveSpreadExchange(pool, set, idx)
+	}
+	if maxSize >= 2 {
+		emit(2)
+	}
+	for k := 3; k <= maxSize; k++ {
+		bestJ, bestAdd := -1, -1.0
+		for j := 0; j < n; j++ {
+			if inSet[j] {
+				continue
+			}
+			// Adding j: new mean = (pairSum + distSum[j]) / C(k,2).
+			if distSum[j] > bestAdd {
+				bestAdd, bestJ = distSum[j], j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		inSet[bestJ] = true
+		members = append(members, bestJ)
+		pairSum += distSum[bestJ]
+		for j := 0; j < n; j++ {
+			distSum[j] += behavior.Distance(pool[idx[j]], pool[idx[bestJ]])
+		}
+		emit(k)
+	}
+	return out
+}
+
+// ImproveSpreadExchange refines an ensemble by swapping members with
+// outside candidates while any swap improves spread. Deterministic:
+// candidates are scanned in order and the best single swap is applied per
+// pass, up to a fixed pass budget.
+func ImproveSpreadExchange(pool []behavior.Vector, members, candidates []int) []int {
+	cur := append([]int(nil), members...)
+	curSpread := SpreadOf(pool, cur)
+	inSet := make(map[int]bool, len(cur))
+	for _, m := range cur {
+		inSet[m] = true
+	}
+	const maxPasses = 20
+	for pass := 0; pass < maxPasses; pass++ {
+		bestGain := 1e-12
+		bestPos, bestCand := -1, -1
+		for pos := range cur {
+			for _, cand := range candidates {
+				if inSet[cand] {
+					continue
+				}
+				old := cur[pos]
+				cur[pos] = cand
+				s := SpreadOf(pool, cur)
+				cur[pos] = old
+				if gain := s - curSpread; gain > bestGain {
+					bestGain, bestPos, bestCand = gain, pos, cand
+				}
+			}
+		}
+		if bestPos < 0 {
+			break
+		}
+		delete(inSet, cur[bestPos])
+		inSet[bestCand] = true
+		curSpread += bestGain
+		cur[bestPos] = bestCand
+	}
+	sort.Ints(cur)
+	return cur
+}
+
+// BestCoverageGreedy grows an ensemble by repeatedly adding the candidate
+// that maximizes coverage, using incremental min-distance maintenance.
+// Greedy is the standard near-optimal heuristic for this k-median-style
+// objective. Returns best[k] for k = 1..maxSize.
+func BestCoverageGreedy(cov *CoverageEstimator, pool []behavior.Vector, idx []int, maxSize int) [][]int {
+	n := len(idx)
+	if maxSize > n {
+		maxSize = n
+	}
+	out := make([][]int, maxSize+1)
+	var members []int
+	var minDist []float64
+	inSet := make([]bool, n)
+	for k := 1; k <= maxSize; k++ {
+		bestJ := -1
+		bestCov := -1.0
+		for j := 0; j < n; j++ {
+			if inSet[j] {
+				continue
+			}
+			if c := cov.CoverageWith(minDist, pool[idx[j]]); c > bestCov {
+				bestCov, bestJ = c, j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		inSet[bestJ] = true
+		members = append(members, idx[bestJ])
+		minDist = cov.MinDistances(minDist, []behavior.Vector{pool[idx[bestJ]]})
+		set := append([]int(nil), members...)
+		sort.Ints(set)
+		out[k] = set
+	}
+	return out
+}

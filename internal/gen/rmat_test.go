@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestRMATBasic(t *testing.T) {
+	g, err := RMAT(RMATConfig{Scale: 12, NumEdges: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4096 {
+		t.Fatalf("NumVertices = %d, want 4096", g.NumVertices())
+	}
+	if g.NumEdges() < 15000 || g.NumEdges() > 20000 {
+		t.Fatalf("NumEdges = %d, want near 20000 after dedup", g.NumEdges())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Scale: 10, NumEdges: 5000, Seed: 9}
+	a, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degreesEqual(a, b) {
+		t.Fatal("same seed produced different RMAT graphs")
+	}
+}
+
+func TestRMATSkewedVsErdosRenyi(t *testing.T) {
+	rmat, err := RMAT(RMATConfig{Scale: 12, NumEdges: 30000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyi(ErdosRenyiConfig{NumVertices: 4096, NumEdges: 30000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvRMAT, cvER := DegreeCV(rmat), DegreeCV(er)
+	// R-MAT's recursive skew must produce a materially heavier-tailed
+	// degree distribution than the uniform model at equal density.
+	if cvRMAT < 2*cvER {
+		t.Fatalf("DegreeCV: RMAT %v not ≫ ER %v", cvRMAT, cvER)
+	}
+	if rmat.MaxDegree() <= er.MaxDegree() {
+		t.Fatalf("max degree: RMAT %d not above ER %d", rmat.MaxDegree(), er.MaxDegree())
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Scale: 0, NumEdges: 10}); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 10, NumEdges: 0}); err == nil {
+		t.Fatal("0 edges accepted")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 10, NumEdges: 10, A: 0.6, B: 0.3, C: 0.2}); err == nil {
+		t.Fatal("probabilities above 1 accepted")
+	}
+}
+
+func TestErdosRenyiNearUniform(t *testing.T) {
+	g, err := ErdosRenyi(ErdosRenyiConfig{NumVertices: 2000, NumEdges: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(20) degrees: CV ≈ 1/√20 ≈ 0.22.
+	if cv := DegreeCV(g); cv > 0.4 {
+		t.Fatalf("ER degree CV = %v, want < 0.4 (near-uniform)", cv)
+	}
+	if g.NumEdges() < 18000 {
+		t.Fatalf("NumEdges = %d, want close to 20000", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(ErdosRenyiConfig{NumVertices: 1, NumEdges: 1}); err == nil {
+		t.Fatal("1 vertex accepted")
+	}
+	if _, err := ErdosRenyi(ErdosRenyiConfig{NumVertices: 4, NumEdges: 100}); err == nil {
+		t.Fatal("overfull graph accepted")
+	}
+	if _, err := ErdosRenyi(ErdosRenyiConfig{NumVertices: 4, NumEdges: 0}); err == nil {
+		t.Fatal("0 edges accepted")
+	}
+}
+
+func TestDegreeCVContrastAcrossAlphas(t *testing.T) {
+	// DegreeCV must order the Chung-Lu family correctly: smaller alpha →
+	// heavier tail → larger CV.
+	gLow, err := PowerLaw(PowerLawConfig{NumEdges: 20000, Alpha: 2.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHigh, err := PowerLaw(PowerLawConfig{NumEdges: 20000, Alpha: 3.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DegreeCV(gLow) <= DegreeCV(gHigh) {
+		t.Fatalf("CV(α=2)=%v not above CV(α=3)=%v", DegreeCV(gLow), DegreeCV(gHigh))
+	}
+}

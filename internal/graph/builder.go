@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+//
+// For undirected graphs, AddEdge(u, v) stores the edge once and Build
+// materializes both arcs. For directed graphs, AddEdge adds a single arc
+// and Build additionally constructs the transposed (in-) adjacency.
+type Builder struct {
+	n        int
+	directed bool
+	weighted bool
+
+	src, dst []uint32
+	w        []float64
+
+	// Build options.
+	dedup         bool
+	sortAdj       bool
+	dropSelfLoops bool
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed, dropSelfLoops: true}
+}
+
+// Weighted declares that edges carry weights; must be called before the
+// first AddEdge that supplies a weight.
+func (b *Builder) Weighted() *Builder { b.weighted = true; return b }
+
+// Dedup requests removal of duplicate edges at Build time (parallel arcs
+// between the same pair collapse to one; for weighted graphs the first
+// weight wins).
+func (b *Builder) Dedup() *Builder { b.dedup = true; return b }
+
+// SortAdjacency requests neighbor lists sorted by vertex ID (needed by
+// triangle counting's sorted-merge intersection).
+func (b *Builder) SortAdjacency() *Builder { b.sortAdj = true; return b }
+
+// KeepSelfLoops retains self-loop edges, which are dropped by default.
+func (b *Builder) KeepSelfLoops() *Builder { b.dropSelfLoops = false; return b }
+
+// AddEdge records an edge (or arc, for directed graphs) from u to v with
+// weight 1.
+func (b *Builder) AddEdge(u, v uint32) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records an edge from u to v with the given weight.
+func (b *Builder) AddWeightedEdge(u, v uint32, w float64) {
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	if b.weighted {
+		b.w = append(b.w, w)
+	}
+}
+
+// NumPending returns the number of edges recorded so far.
+func (b *Builder) NumPending() int { return len(b.src) }
+
+// Build materializes the CSR graph. The Builder must not be reused after.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n <= 0 {
+		return nil, fmt.Errorf("graph: builder needs a positive vertex count, got %d", b.n)
+	}
+	if b.n > 1<<31 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds uint32 ID space", b.n)
+	}
+	for i := range b.src {
+		if int(b.src[i]) >= b.n || int(b.dst[i]) >= b.n {
+			return nil, fmt.Errorf("graph: edge %d (%d→%d) references vertex ≥ n=%d",
+				i, b.src[i], b.dst[i], b.n)
+		}
+	}
+
+	// Filter self-loops up front.
+	if b.dropSelfLoops {
+		k := 0
+		for i := range b.src {
+			if b.src[i] == b.dst[i] {
+				continue
+			}
+			b.src[k], b.dst[k] = b.src[i], b.dst[i]
+			if b.weighted {
+				b.w[k] = b.w[i]
+			}
+			k++
+		}
+		b.src, b.dst = b.src[:k], b.dst[:k]
+		if b.weighted {
+			b.w = b.w[:k]
+		}
+	}
+
+	if b.dedup {
+		b.dedupEdges()
+	}
+
+	g := &Graph{
+		numVertices: b.n,
+		directed:    b.directed,
+		adjSorted:   b.sortAdj,
+	}
+
+	if b.directed {
+		g.numEdges = int64(len(b.src))
+		g.outOff, g.outAdj, g.outW = buildCSR(b.n, b.src, b.dst, b.w, b.sortAdj)
+		// Transpose, tracking the originating out-arc of each in-arc.
+		g.inOff, g.inAdj, g.inArc = buildTranspose(b.n, g.outOff, g.outAdj)
+	} else {
+		g.numEdges = int64(len(b.src))
+		// Double every edge into both directions.
+		src2 := make([]uint32, 0, 2*len(b.src))
+		dst2 := make([]uint32, 0, 2*len(b.src))
+		var w2 []float64
+		if b.weighted {
+			w2 = make([]float64, 0, 2*len(b.w))
+		}
+		for i := range b.src {
+			src2 = append(src2, b.src[i], b.dst[i])
+			dst2 = append(dst2, b.dst[i], b.src[i])
+			if b.weighted {
+				w2 = append(w2, b.w[i], b.w[i])
+			}
+		}
+		g.outOff, g.outAdj, g.outW = buildCSR(b.n, src2, dst2, w2, b.sortAdj)
+		g.inOff, g.inAdj, g.inArc = g.outOff, g.outAdj, nil
+	}
+	return g, nil
+}
+
+// dedupEdges removes parallel edges in-place. For undirected builders the
+// canonical key orders endpoints so (u,v) and (v,u) collapse.
+func (b *Builder) dedupEdges() {
+	type rec struct {
+		key uint64
+		pos int
+	}
+	recs := make([]rec, len(b.src))
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		if !b.directed && u > v {
+			u, v = v, u
+		}
+		recs[i] = rec{uint64(u)<<32 | uint64(v), i}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].key != recs[j].key {
+			return recs[i].key < recs[j].key
+		}
+		return recs[i].pos < recs[j].pos
+	})
+	src := make([]uint32, 0, len(b.src))
+	dst := make([]uint32, 0, len(b.dst))
+	var w []float64
+	if b.weighted {
+		w = make([]float64, 0, len(b.w))
+	}
+	var prev uint64 = ^uint64(0)
+	for _, r := range recs {
+		if r.key == prev {
+			continue
+		}
+		prev = r.key
+		src = append(src, b.src[r.pos])
+		dst = append(dst, b.dst[r.pos])
+		if b.weighted {
+			w = append(w, b.w[r.pos])
+		}
+	}
+	b.src, b.dst, b.w = src, dst, w
+}
+
+// buildCSR counting-sorts arcs by source into offset/adjacency arrays.
+func buildCSR(n int, src, dst []uint32, w []float64, sortAdj bool) ([]int64, []uint32, []float64) {
+	off := make([]int64, n+1)
+	for _, u := range src {
+		off[u+1]++
+	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	adj := make([]uint32, len(src))
+	var weights []float64
+	if w != nil {
+		weights = make([]float64, len(src))
+	}
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for i := range src {
+		p := cursor[src[i]]
+		cursor[src[i]]++
+		adj[p] = dst[i]
+		if w != nil {
+			weights[p] = w[i]
+		}
+	}
+	if sortAdj {
+		for v := 0; v < n; v++ {
+			lo, hi := off[v], off[v+1]
+			if weights == nil {
+				s := adj[lo:hi]
+				sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			} else {
+				sortArcsByTarget(adj[lo:hi], weights[lo:hi])
+			}
+		}
+	}
+	return off, adj, weights
+}
+
+// sortArcsByTarget co-sorts an adjacency slice and its weights by target ID.
+func sortArcsByTarget(adj []uint32, w []float64) {
+	idx := make([]int, len(adj))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return adj[idx[i]] < adj[idx[j]] })
+	adjCopy := append([]uint32(nil), adj...)
+	wCopy := append([]float64(nil), w...)
+	for i, p := range idx {
+		adj[i] = adjCopy[p]
+		w[i] = wCopy[p]
+	}
+}
+
+// buildTranspose constructs in-adjacency from out-CSR, recording for each
+// in-arc the out-arc index it mirrors.
+func buildTranspose(n int, outOff []int64, outAdj []uint32) (inOff []int64, inAdj []uint32, inArc []int64) {
+	inOff = make([]int64, n+1)
+	for _, v := range outAdj {
+		inOff[v+1]++
+	}
+	for i := 1; i <= n; i++ {
+		inOff[i] += inOff[i-1]
+	}
+	inAdj = make([]uint32, len(outAdj))
+	inArc = make([]int64, len(outAdj))
+	cursor := make([]int64, n)
+	copy(cursor, inOff[:n])
+	for u := 0; u < n; u++ {
+		for a := outOff[u]; a < outOff[u+1]; a++ {
+			v := outAdj[a]
+			p := cursor[v]
+			cursor[v]++
+			inAdj[p] = uint32(u)
+			inArc[p] = a
+		}
+	}
+	return
+}

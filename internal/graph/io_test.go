@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcbench/internal/rng"
+)
+
+func TestEdgeListRoundTripUnweighted(t *testing.T) {
+	b := NewBuilder(5, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := mustBuild(t, b)
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestEdgeListRoundTripWeightedDirected(t *testing.T) {
+	b := NewBuilder(4, true).Weighted()
+	b.AddWeightedEdge(0, 1, 0.5)
+	b.AddWeightedEdge(2, 1, 1.25)
+	b.AddWeightedEdge(3, 0, -2)
+	g := mustBuild(t, b)
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		directed := r.Intn(2) == 0
+		b := NewBuilder(n, directed).Weighted().Dedup()
+		for i := 0; i < r.Intn(60); i++ {
+			b.AddWeightedEdge(uint32(r.Intn(n)), uint32(r.Intn(n)), float64(r.Intn(100))/4)
+		}
+		g := mustBuild(t, b)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertSameGraph(t, g, g2)
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertices: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edges: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	if a.Directed() != b.Directed() {
+		t.Fatalf("directedness mismatch")
+	}
+	for u := uint32(0); int(u) < a.NumVertices(); u++ {
+		if a.OutDegree(u) != b.OutDegree(u) {
+			t.Fatalf("vertex %d out-degree %d vs %d", u, a.OutDegree(u), b.OutDegree(u))
+		}
+		// Compare neighbor+weight multisets.
+		am := arcSet(a, u)
+		bm := arcSet(b, u)
+		if len(am) != len(bm) {
+			t.Fatalf("vertex %d arc sets differ in size", u)
+		}
+		for k, v := range am {
+			if bm[k] != v {
+				t.Fatalf("vertex %d arc %v count %d vs %d", u, k, v, bm[k])
+			}
+		}
+	}
+}
+
+type arcKey struct {
+	target uint32
+	weight float64
+}
+
+func arcSet(g *Graph, u uint32) map[arcKey]int {
+	m := make(map[arcKey]int)
+	lo, hi := g.OutArcRange(u)
+	for a := lo; a < hi; a++ {
+		m[arcKey{g.ArcTarget(a), g.ArcWeight(a)}]++
+	}
+	return m
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no header\n0 1\n",
+		"# gcbench n=0 directed=false weighted=false\n",
+		"# gcbench n=2 directed=false weighted=false\n0\n",
+		"# gcbench n=2 directed=false weighted=false\nx y\n",
+		"# gcbench n=2 directed=false weighted=true\n0 1\n",
+		"# gcbench n=2 directed=maybe weighted=false\n",
+		"# gcbench n=2 bogus=1\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("ReadEdgeList(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# gcbench n=3 directed=false weighted=false\n# comment\n\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}

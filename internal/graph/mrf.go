@@ -1,0 +1,428 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MRF is a pairwise Markov Random Field: an undirected Graph whose vertices
+// are discrete variables with per-variable cardinalities, unary potentials,
+// and one pairwise potential table per edge. It is the input type of the
+// Loopy Belief Propagation and Dual Decomposition algorithms.
+//
+// Potentials are stored in probability (not log) space, matching the UAI
+// file format the paper's DD inputs use.
+type MRF struct {
+	G *Graph
+
+	// Card[v] is the number of states of variable v.
+	Card []int
+	// Unary[v] has length Card[v].
+	Unary [][]float64
+	// Pairwise[e] is the table of logical edge e, row-major with the
+	// lower-numbered endpoint as the row variable:
+	// table[i*Card[hi] + j] = φ(lo=i, hi=j).
+	Pairwise [][]float64
+
+	// arcEdge maps each arc index to its logical edge index.
+	arcEdge []int64
+}
+
+// NewMRF wraps an undirected graph with potentials. Cardinalities, unary
+// and pairwise tables must be dimensionally consistent with g.
+func NewMRF(g *Graph, card []int, unary, pairwise [][]float64) (*MRF, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("mrf: graph must be undirected")
+	}
+	n := g.NumVertices()
+	if len(card) != n {
+		return nil, fmt.Errorf("mrf: %d cardinalities for %d variables", len(card), n)
+	}
+	if len(unary) != n {
+		return nil, fmt.Errorf("mrf: %d unary tables for %d variables", len(unary), n)
+	}
+	for v, c := range card {
+		if c < 1 {
+			return nil, fmt.Errorf("mrf: variable %d has cardinality %d", v, c)
+		}
+		if len(unary[v]) != c {
+			return nil, fmt.Errorf("mrf: unary table of variable %d has %d entries, want %d",
+				v, len(unary[v]), c)
+		}
+	}
+	if int64(len(pairwise)) != g.NumEdges() {
+		return nil, fmt.Errorf("mrf: %d pairwise tables for %d edges", len(pairwise), g.NumEdges())
+	}
+
+	m := &MRF{G: g, Card: card, Unary: unary, Pairwise: pairwise}
+	if err := m.indexArcs(); err != nil {
+		return nil, err
+	}
+	// Validate table shapes now that edges are indexed.
+	seen := make([]bool, len(pairwise))
+	for u := uint32(0); int(u) < n; u++ {
+		lo, hi := g.OutArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			if v < u {
+				continue
+			}
+			e := m.arcEdge[a]
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			want := card[u] * card[v]
+			if len(pairwise[e]) != want {
+				return nil, fmt.Errorf("mrf: pairwise table %d (edge %d-%d) has %d entries, want %d",
+					e, u, v, len(pairwise[e]), want)
+			}
+		}
+	}
+	return m, nil
+}
+
+// indexArcs assigns logical edge indices to arcs: edges are numbered in
+// order of their canonical (lo, hi) appearance scanning vertices by ID.
+func (m *MRF) indexArcs() error {
+	g := m.G
+	m.arcEdge = make([]int64, g.NumArcs())
+	edgeOf := make(map[uint64]int64, g.NumEdges())
+	var next int64
+	for u := uint32(0); int(u) < g.NumVertices(); u++ {
+		lo, hi := g.OutArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			cu, cv := u, v
+			if cu > cv {
+				cu, cv = cv, cu
+			}
+			key := uint64(cu)<<32 | uint64(cv)
+			e, ok := edgeOf[key]
+			if !ok {
+				e = next
+				next++
+				edgeOf[key] = e
+			}
+			m.arcEdge[a] = e
+		}
+	}
+	if next != g.NumEdges() {
+		return fmt.Errorf("mrf: indexed %d distinct edges, graph reports %d (parallel edges?)",
+			next, g.NumEdges())
+	}
+	return nil
+}
+
+// ArcEdge returns the logical edge index of arc a.
+func (m *MRF) ArcEdge(a int64) int64 { return m.arcEdge[a] }
+
+// PairwiseFor returns φ(xu, xv) for the edge held by arc a, where a is an
+// out-arc of u targeting v — the orientation lookup the caller would
+// otherwise have to repeat.
+func (m *MRF) PairwiseFor(a int64, u uint32, xu, xv int) float64 {
+	v := m.G.ArcTarget(a)
+	t := m.Pairwise[m.arcEdge[a]]
+	if u < v {
+		return t[xu*m.Card[v]+xv]
+	}
+	return t[xv*m.Card[u]+xu]
+}
+
+// WriteUAI writes the MRF in the UAI MARKOV file format (the PIC2011
+// format the paper's DD inputs use): preamble with variable cardinalities
+// and factor scopes, then one table per factor. Unary factors come first
+// (one per variable), then pairwise factors in logical-edge order.
+func WriteUAI(w io.Writer, m *MRF) error {
+	bw := bufio.NewWriter(w)
+	n := m.G.NumVertices()
+	fmt.Fprintln(bw, "MARKOV")
+	fmt.Fprintln(bw, n)
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			fmt.Fprint(bw, " ")
+		}
+		fmt.Fprint(bw, m.Card[v])
+	}
+	fmt.Fprintln(bw)
+
+	// Collect edges in logical order: (lo, hi) per edge index.
+	edges := m.edgeEndpoints()
+	fmt.Fprintln(bw, n+len(edges))
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(bw, "1 %d\n", v)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(bw, "2 %d %d\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw)
+	for v := 0; v < n; v++ {
+		fmt.Fprintln(bw, len(m.Unary[v]))
+		writeTable(bw, m.Unary[v])
+	}
+	for i := range edges {
+		fmt.Fprintln(bw, len(m.Pairwise[i]))
+		writeTable(bw, m.Pairwise[i])
+	}
+	return bw.Flush()
+}
+
+// edgeEndpoints returns the canonical (lo, hi) endpoints of each logical
+// edge in edge-index order.
+func (m *MRF) edgeEndpoints() [][2]uint32 {
+	edges := make([][2]uint32, m.G.NumEdges())
+	seen := make([]bool, m.G.NumEdges())
+	for u := uint32(0); int(u) < m.G.NumVertices(); u++ {
+		lo, hi := m.G.OutArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := m.G.ArcTarget(a)
+			e := m.arcEdge[a]
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			if u < v {
+				edges[e] = [2]uint32{u, v}
+			} else {
+				edges[e] = [2]uint32{v, u}
+			}
+		}
+	}
+	return edges
+}
+
+func writeTable(bw *bufio.Writer, t []float64) {
+	for i, x := range t {
+		if i > 0 {
+			fmt.Fprint(bw, " ")
+		}
+		fmt.Fprintf(bw, "%g", x)
+	}
+	fmt.Fprintln(bw)
+}
+
+// ReadUAI parses a pairwise UAI MARKOV network. Factors with scope size 1
+// become unary potentials (multiplied together if a variable appears in
+// several), scope size 2 become pairwise tables; larger scopes are
+// rejected, as in the paper only pairwise MRFs are used.
+func ReadUAI(r io.Reader) (*MRF, error) {
+	tok := newTokenizer(r)
+	kind, err := tok.word()
+	if err != nil {
+		return nil, err
+	}
+	if kind != "MARKOV" {
+		return nil, fmt.Errorf("uai: expected MARKOV network, got %q", kind)
+	}
+	n, err := tok.nonNegInt("variable count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("uai: zero variables")
+	}
+	card := make([]int, n)
+	for i := range card {
+		c, err := tok.nonNegInt("cardinality")
+		if err != nil {
+			return nil, err
+		}
+		if c < 1 {
+			return nil, fmt.Errorf("uai: variable %d has cardinality %d", i, c)
+		}
+		card[i] = c
+	}
+	numFactors, err := tok.nonNegInt("factor count")
+	if err != nil {
+		return nil, err
+	}
+	scopes := make([][]int, numFactors)
+	for f := 0; f < numFactors; f++ {
+		sz, err := tok.nonNegInt("scope size")
+		if err != nil {
+			return nil, err
+		}
+		if sz < 1 || sz > 2 {
+			return nil, fmt.Errorf("uai: factor %d has scope size %d; only pairwise MRFs supported", f, sz)
+		}
+		scope := make([]int, sz)
+		for i := range scope {
+			v, err := tok.nonNegInt("scope variable")
+			if err != nil {
+				return nil, err
+			}
+			if v >= n {
+				return nil, fmt.Errorf("uai: factor %d references variable %d ≥ n=%d", f, v, n)
+			}
+			scope[i] = v
+		}
+		scopes[f] = scope
+	}
+
+	unary := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		unary[v] = uniformTable(card[v])
+	}
+	// Pairwise factors keyed by canonical (lo, hi) pair; repeated factors
+	// over the same pair multiply together.
+	pairTables := make(map[uint64][]float64)
+	var pairOrder []uint64
+	for f := 0; f < numFactors; f++ {
+		entries, err := tok.nonNegInt("table size")
+		if err != nil {
+			return nil, err
+		}
+		table := make([]float64, entries)
+		for i := range table {
+			x, err := tok.float("table entry")
+			if err != nil {
+				return nil, err
+			}
+			table[i] = x
+		}
+		scope := scopes[f]
+		switch len(scope) {
+		case 1:
+			v := scope[0]
+			if entries != card[v] {
+				return nil, fmt.Errorf("uai: unary factor %d has %d entries, variable %d has cardinality %d",
+					f, entries, v, card[v])
+			}
+			for i := range unary[v] {
+				unary[v][i] *= table[i]
+			}
+		case 2:
+			u, v := scope[0], scope[1]
+			if u == v {
+				return nil, fmt.Errorf("uai: pairwise factor %d has a repeated variable %d", f, u)
+			}
+			if entries != card[u]*card[v] {
+				return nil, fmt.Errorf("uai: pairwise factor %d has %d entries, want %d",
+					f, entries, card[u]*card[v])
+			}
+			// Canonicalize to lo-major order.
+			if u > v {
+				table = transposeTable(table, card[u], card[v])
+				u, v = v, u
+			}
+			key := uint64(uint32(u))<<32 | uint64(uint32(v))
+			if prev, ok := pairTables[key]; ok {
+				for i := range prev {
+					prev[i] *= table[i]
+				}
+			} else {
+				pairTables[key] = table
+				pairOrder = append(pairOrder, key)
+			}
+		}
+	}
+
+	b := NewBuilder(n, false)
+	for _, key := range pairOrder {
+		b.AddEdge(uint32(key>>32), uint32(key))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMRF(g, card, unary, tablesInScanOrder(g, pairTables))
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// tablesInScanOrder arranges pairwise tables into the MRF's CSR-scan edge
+// numbering (edges numbered in order of first appearance scanning vertices
+// by ID).
+func tablesInScanOrder(g *Graph, byKey map[uint64][]float64) [][]float64 {
+	out := make([][]float64, 0, g.NumEdges())
+	seen := make(map[uint64]bool, len(byKey))
+	for u := uint32(0); int(u) < g.NumVertices(); u++ {
+		lo, hi := g.OutArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			cu, cv := u, v
+			if cu > cv {
+				cu, cv = cv, cu
+			}
+			key := uint64(cu)<<32 | uint64(cv)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, byKey[key])
+		}
+	}
+	return out
+}
+
+func uniformTable(n int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return t
+}
+
+// transposeTable converts a rows×cols row-major table to cols×rows.
+func transposeTable(t []float64, rows, cols int) []float64 {
+	out := make([]float64, len(t))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out[j*rows+i] = t[i*cols+j]
+		}
+	}
+	return out
+}
+
+// tokenizer splits an io.Reader into whitespace-separated tokens with
+// 1-based position tracking for error messages.
+type tokenizer struct {
+	sc  *bufio.Scanner
+	pos int
+}
+
+func newTokenizer(r io.Reader) *tokenizer {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	return &tokenizer{sc: sc}
+}
+
+func (t *tokenizer) word() (string, error) {
+	if !t.sc.Scan() {
+		if err := t.sc.Err(); err != nil {
+			return "", fmt.Errorf("uai: read error at token %d: %v", t.pos, err)
+		}
+		return "", fmt.Errorf("uai: unexpected end of input at token %d", t.pos)
+	}
+	t.pos++
+	return t.sc.Text(), nil
+}
+
+func (t *tokenizer) nonNegInt(what string) (int, error) {
+	w, err := t.word()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(w)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("uai: token %d: bad %s %q", t.pos, what, w)
+	}
+	return v, nil
+}
+
+func (t *tokenizer) float(what string) (float64, error) {
+	w, err := t.word()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(w, 64)
+	if err != nil {
+		return 0, fmt.Errorf("uai: token %d: bad %s %q", t.pos, what, w)
+	}
+	return v, nil
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// triangleMRF builds a 3-variable pairwise MRF on a triangle for tests.
+func triangleMRF(t *testing.T) *MRF {
+	t.Helper()
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := mustBuild(t, b)
+
+	card := []int{2, 2, 3}
+	unary := [][]float64{{0.4, 0.6}, {0.5, 0.5}, {0.2, 0.3, 0.5}}
+	// Edge scan order from vertex 0: (0,1), (0,2), then (1,2).
+	pairwise := [][]float64{
+		{1, 2, 3, 4},       // 0-1: 2×2
+		{1, 2, 3, 4, 5, 6}, // 0-2: 2×3
+		{6, 5, 4, 3, 2, 1}, // 1-2: 2×3
+	}
+	m, err := NewMRF(g, card, unary, pairwise)
+	if err != nil {
+		t.Fatalf("NewMRF: %v", err)
+	}
+	return m
+}
+
+func TestMRFArcEdgeConsistency(t *testing.T) {
+	m := triangleMRF(t)
+	g := m.G
+	// Both arcs of each edge must map to the same logical edge index.
+	for u := uint32(0); int(u) < g.NumVertices(); u++ {
+		lo, hi := g.OutArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			e := m.ArcEdge(a)
+			// Find the reverse arc.
+			rlo, rhi := g.OutArcRange(v)
+			found := false
+			for ra := rlo; ra < rhi; ra++ {
+				if g.ArcTarget(ra) == u && m.ArcEdge(ra) == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d: reverse arc maps to a different edge index", u, v)
+			}
+		}
+	}
+}
+
+func TestMRFPairwiseForOrientation(t *testing.T) {
+	m := triangleMRF(t)
+	g := m.G
+	// For the 0-2 edge (2×3 table {1..6}), φ(x0=1, x2=2) = 6 regardless of
+	// which endpoint's arc we query through.
+	lo, hi := g.OutArcRange(0)
+	for a := lo; a < hi; a++ {
+		if g.ArcTarget(a) == 2 {
+			if got := m.PairwiseFor(a, 0, 1, 2); got != 6 {
+				t.Fatalf("PairwiseFor from 0: got %v, want 6", got)
+			}
+		}
+	}
+	lo, hi = g.OutArcRange(2)
+	for a := lo; a < hi; a++ {
+		if g.ArcTarget(a) == 0 {
+			// From vertex 2's perspective xu=x2=2, xv=x0=1.
+			if got := m.PairwiseFor(a, 2, 2, 1); got != 6 {
+				t.Fatalf("PairwiseFor from 2: got %v, want 6", got)
+			}
+		}
+	}
+}
+
+func TestMRFValidation(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 1)
+	g := mustBuild(t, b)
+
+	if _, err := NewMRF(g, []int{2}, nil, nil); err == nil {
+		t.Fatal("wrong cardinality count accepted")
+	}
+	if _, err := NewMRF(g, []int{2, 0}, [][]float64{{1, 1}, {}}, [][]float64{{1, 1, 1, 1}}); err == nil {
+		t.Fatal("zero cardinality accepted")
+	}
+	if _, err := NewMRF(g, []int{2, 2}, [][]float64{{1, 1}, {1}}, [][]float64{{1, 1, 1, 1}}); err == nil {
+		t.Fatal("wrong unary size accepted")
+	}
+	if _, err := NewMRF(g, []int{2, 2}, [][]float64{{1, 1}, {1, 1}}, [][]float64{{1, 1}}); err == nil {
+		t.Fatal("wrong pairwise size accepted")
+	}
+	bd := NewBuilder(2, true)
+	bd.AddEdge(0, 1)
+	gd := mustBuild(t, bd)
+	if _, err := NewMRF(gd, []int{2, 2}, [][]float64{{1, 1}, {1, 1}}, [][]float64{{1, 1, 1, 1}}); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+func TestUAIRoundTrip(t *testing.T) {
+	m := triangleMRF(t)
+	var buf bytes.Buffer
+	if err := WriteUAI(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadUAI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.G.NumVertices() != 3 || m2.G.NumEdges() != 3 {
+		t.Fatalf("round trip: %d vertices %d edges", m2.G.NumVertices(), m2.G.NumEdges())
+	}
+	for v := 0; v < 3; v++ {
+		if m2.Card[v] != m.Card[v] {
+			t.Fatalf("cardinality of %d: %d vs %d", v, m2.Card[v], m.Card[v])
+		}
+		for i := range m.Unary[v] {
+			if math.Abs(m2.Unary[v][i]-m.Unary[v][i]) > 1e-12 {
+				t.Fatalf("unary[%d][%d] = %v, want %v", v, i, m2.Unary[v][i], m.Unary[v][i])
+			}
+		}
+	}
+	for e := range m.Pairwise {
+		for i := range m.Pairwise[e] {
+			if math.Abs(m2.Pairwise[e][i]-m.Pairwise[e][i]) > 1e-12 {
+				t.Fatalf("pairwise[%d][%d] = %v, want %v", e, i, m2.Pairwise[e][i], m.Pairwise[e][i])
+			}
+		}
+	}
+}
+
+func TestReadUAITransposesReversedScope(t *testing.T) {
+	// A factor written with scope (1, 0) must land transposed so that
+	// PairwiseFor sees the same values.
+	in := `MARKOV
+2
+2 3
+1
+2 1 0
+6
+1 2 3 4 5 6
+`
+	m, err := ReadUAI(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scope (1,0): table rows indexed by x1 (card 3... wait card[1]=3).
+	// card = [2 3]; scope (1, 0) means rows = x1 (card 3), cols = x0 (card 2):
+	// φ(x1=i, x0=j) = table[i*2+j]. After canonicalization φ(x0=j, x1=i)
+	// must equal the same value.
+	g := m.G
+	lo, hi := g.OutArcRange(0)
+	for a := lo; a < hi; a++ {
+		for x0 := 0; x0 < 2; x0++ {
+			for x1 := 0; x1 < 3; x1++ {
+				want := float64(x1*2 + x0 + 1)
+				if got := m.PairwiseFor(a, 0, x0, x1); got != want {
+					t.Fatalf("φ(x0=%d,x1=%d) = %v, want %v", x0, x1, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReadUAIMergesDuplicateFactors(t *testing.T) {
+	in := `MARKOV
+2
+2 2
+2
+2 0 1
+2 0 1
+4
+1 2 3 4
+4
+2 2 2 2
+`
+	m, err := ReadUAI(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.G.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", m.G.NumEdges())
+	}
+	want := []float64{2, 4, 6, 8}
+	for i, x := range m.Pairwise[0] {
+		if x != want[i] {
+			t.Fatalf("merged table[%d] = %v, want %v", i, x, want[i])
+		}
+	}
+}
+
+func TestReadUAIUnaryFactors(t *testing.T) {
+	in := `MARKOV
+2
+2 2
+3
+1 0
+1 1
+2 0 1
+2
+0.3 0.7
+2
+0.9 0.1
+4
+1 1 1 1
+`
+	m, err := ReadUAI(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Unary[0][0] != 0.3 || m.Unary[0][1] != 0.7 {
+		t.Fatalf("unary[0] = %v", m.Unary[0])
+	}
+	if m.Unary[1][0] != 0.9 || m.Unary[1][1] != 0.1 {
+		t.Fatalf("unary[1] = %v", m.Unary[1])
+	}
+}
+
+func TestReadUAIErrors(t *testing.T) {
+	cases := map[string]string{
+		"bayes net":      "BAYES\n1\n2\n0\n",
+		"truncated":      "MARKOV\n3\n2 2",
+		"zero vars":      "MARKOV\n0\n0\n",
+		"bad card":       "MARKOV\n1\n0\n0\n",
+		"triple factor":  "MARKOV\n3\n2 2 2\n1\n3 0 1 2\n8\n1 1 1 1 1 1 1 1\n",
+		"var oob":        "MARKOV\n2\n2 2\n1\n2 0 5\n4\n1 1 1 1\n",
+		"self pair":      "MARKOV\n2\n2 2\n1\n2 1 1\n4\n1 1 1 1\n",
+		"bad table size": "MARKOV\n2\n2 2\n1\n2 0 1\n3\n1 1 1\n",
+		"bad unary size": "MARKOV\n2\n2 2\n1\n1 0\n3\n1 1 1\n",
+		"bad float":      "MARKOV\n2\n2 2\n1\n2 0 1\n4\n1 1 x 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadUAI(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: ReadUAI succeeded, want error", name)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package graph
+
+import "sort"
+
+// reverse-arc support: for undirected graphs every logical edge occupies
+// two arcs (u→v and v→u); message-passing algorithms (LBP, DD) keep one
+// value per arc direction and need to find the opposite arc in O(1).
+
+// ReverseArcs returns, for an undirected graph, the mapping rev such that
+// rev[a] is the arc index of the opposite direction of arc a
+// (rev[rev[a]] == a). The result is computed on first call and cached on
+// the graph. It panics on directed graphs, which have no paired arcs.
+func (g *Graph) ReverseArcs() []int64 {
+	if g.directed {
+		panic("graph: ReverseArcs is defined only for undirected graphs")
+	}
+	g.revOnce.Do(func() { g.revArcs = g.computeReverseArcs() })
+	return g.revArcs
+}
+
+func (g *Graph) computeReverseArcs() []int64 {
+	rev := make([]int64, len(g.outAdj))
+	for i := range rev {
+		rev[i] = -1
+	}
+	// Group arcs by unordered endpoint pair and pair up the two directions
+	// in order of appearance, so parallel edges (if any survived dedup)
+	// match deterministically.
+	byPair := make(map[uint64][]int64, g.numEdges)
+	for u := uint32(0); int(u) < g.numVertices; u++ {
+		for a := g.outOff[u]; a < g.outOff[u+1]; a++ {
+			v := g.outAdj[a]
+			lo, hi := u, v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := uint64(lo)<<32 | uint64(hi)
+			byPair[key] = append(byPair[key], a)
+		}
+	}
+	for key, arcs := range byPair {
+		lo := uint32(key >> 32)
+		var fwd, bwd []int64
+		for _, a := range arcs {
+			if a >= g.outOff[lo] && a < g.outOff[lo+1] {
+				fwd = append(fwd, a)
+			} else {
+				bwd = append(bwd, a)
+			}
+		}
+		sort.Slice(fwd, func(i, j int) bool { return fwd[i] < fwd[j] })
+		sort.Slice(bwd, func(i, j int) bool { return bwd[i] < bwd[j] })
+		for i := 0; i < len(fwd) && i < len(bwd); i++ {
+			rev[fwd[i]] = bwd[i]
+			rev[bwd[i]] = fwd[i]
+		}
+	}
+	return rev
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"testing"
+
+	"gcbench/internal/rng"
+)
+
+func TestReverseArcsInvolution(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := rng.New(seed)
+		n := 3 + r.Intn(40)
+		b := NewBuilder(n, false).Dedup()
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(uint32(r.Intn(n)), uint32(r.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev := g.ReverseArcs()
+		if int64(len(rev)) != g.NumArcs() {
+			t.Fatalf("rev length %d, arcs %d", len(rev), g.NumArcs())
+		}
+		for u := uint32(0); int(u) < n; u++ {
+			lo, hi := g.OutArcRange(u)
+			for a := lo; a < hi; a++ {
+				ra := rev[a]
+				if ra < 0 {
+					t.Fatalf("arc %d has no reverse", a)
+				}
+				if rev[ra] != a {
+					t.Fatalf("rev not an involution at arc %d", a)
+				}
+				// The reverse arc runs target → source.
+				v := g.ArcTarget(a)
+				vlo, vhi := g.OutArcRange(v)
+				if ra < vlo || ra >= vhi || g.ArcTarget(ra) != u {
+					t.Fatalf("reverse of %d→%d is not %d→%d", u, v, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestReverseArcsCached(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := g.ReverseArcs()
+	r2 := g.ReverseArcs()
+	if &r1[0] != &r2[0] {
+		t.Fatal("ReverseArcs recomputed instead of cached")
+	}
+}
+
+func TestReverseArcsPanicsOnDirected(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReverseArcs on a directed graph did not panic")
+		}
+	}()
+	g.ReverseArcs()
+}

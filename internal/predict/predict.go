@@ -1,0 +1,162 @@
+// Package predict implements the paper's §7 future-work direction: "Can
+// we model precisely a graph computation's behavior, and predict its
+// performance?" — a behavior-vector predictor over a measured corpus.
+//
+// The model is deliberately simple and data-driven: for a queried
+// <algorithm, size, alpha> tuple, it inverse-distance-interpolates the
+// algorithm's measured runs in (log10 size, alpha) feature space. Because
+// §4 shows behavior varies smoothly along both axes for most algorithms
+// (and the vectors are per-edge normalized, removing first-order scale),
+// local interpolation is a credible baseline predictor — and its
+// leave-one-out error doubles as a quantitative check of the paper's
+// smoothness observations.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"gcbench/internal/behavior"
+)
+
+// Predictor interpolates behavior vectors from a corpus.
+type Predictor struct {
+	byAlg map[string][]sample
+}
+
+type sample struct {
+	logSize float64
+	alpha   float64
+	raw     behavior.Vector
+	iters   float64
+}
+
+// Query identifies the computation whose behavior to predict.
+type Query struct {
+	Algorithm string
+	NumEdges  int64
+	Alpha     float64
+}
+
+// Prediction is the interpolated behavior.
+type Prediction struct {
+	// Raw is the per-edge behavior vector <UPDT, WORK, EREAD, MSG>.
+	Raw behavior.Vector
+	// Iterations is the predicted run length.
+	Iterations float64
+	// Support is the number of corpus runs that informed the prediction.
+	Support int
+}
+
+// New builds a predictor from measured runs.
+func New(runs []*behavior.Run) (*Predictor, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("predict: empty corpus")
+	}
+	p := &Predictor{byAlg: map[string][]sample{}}
+	for _, r := range runs {
+		if r.NumEdges <= 0 {
+			continue
+		}
+		p.byAlg[r.Algorithm] = append(p.byAlg[r.Algorithm], sample{
+			logSize: math.Log10(float64(r.NumEdges)),
+			alpha:   r.Alpha,
+			raw:     r.Raw,
+			iters:   float64(r.Iterations),
+		})
+	}
+	return p, nil
+}
+
+// Predict interpolates the behavior of the queried computation. It errors
+// when the corpus holds no runs of the algorithm.
+func (p *Predictor) Predict(q Query) (*Prediction, error) {
+	samples := p.byAlg[q.Algorithm]
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predict: no corpus runs for algorithm %q", q.Algorithm)
+	}
+	if q.NumEdges <= 0 {
+		return nil, fmt.Errorf("predict: query needs a positive edge count")
+	}
+	logSize := math.Log10(float64(q.NumEdges))
+
+	// Inverse-squared-distance weights in (log size, alpha) space; alpha
+	// spans ~1 and log size ~3-4 units, so scale alpha up to balance axes.
+	const alphaScale = 3.0
+	var wSum float64
+	var pred Prediction
+	for _, s := range samples {
+		ds := logSize - s.logSize
+		da := alphaScale * (q.Alpha - s.alpha)
+		d2 := ds*ds + da*da
+		if d2 < 1e-12 {
+			// Exact hit: return the measurement itself.
+			return &Prediction{Raw: s.raw, Iterations: s.iters, Support: 1}, nil
+		}
+		w := 1 / d2
+		wSum += w
+		for d := 0; d < behavior.Dims; d++ {
+			pred.Raw[d] += w * s.raw[d]
+		}
+		pred.Iterations += w * s.iters
+	}
+	for d := 0; d < behavior.Dims; d++ {
+		pred.Raw[d] /= wSum
+	}
+	pred.Iterations /= wSum
+	pred.Support = len(samples)
+	return &pred, nil
+}
+
+// LeaveOneOut evaluates the predictor on its own corpus: each run is
+// predicted from the others and the mean relative error per behavior
+// dimension is returned (dimensions where the true value is ~0 are
+// skipped). Algorithms need at least 3 runs to participate.
+func LeaveOneOut(runs []*behavior.Run) (behavior.Vector, error) {
+	var errSum behavior.Vector
+	var counts [behavior.Dims]float64
+	byAlg := map[string][]*behavior.Run{}
+	for _, r := range runs {
+		byAlg[r.Algorithm] = append(byAlg[r.Algorithm], r)
+	}
+	evaluated := false
+	for _, algRuns := range byAlg {
+		if len(algRuns) < 3 {
+			continue
+		}
+		for i, target := range algRuns {
+			rest := make([]*behavior.Run, 0, len(algRuns)-1)
+			rest = append(rest, algRuns[:i]...)
+			rest = append(rest, algRuns[i+1:]...)
+			p, err := New(rest)
+			if err != nil {
+				return behavior.Vector{}, err
+			}
+			pred, err := p.Predict(Query{
+				Algorithm: target.Algorithm,
+				NumEdges:  target.NumEdges,
+				Alpha:     target.Alpha,
+			})
+			if err != nil {
+				return behavior.Vector{}, err
+			}
+			evaluated = true
+			for d := 0; d < behavior.Dims; d++ {
+				if target.Raw[d] <= 0 {
+					continue
+				}
+				errSum[d] += math.Abs(pred.Raw[d]-target.Raw[d]) / target.Raw[d]
+				counts[d]++
+			}
+		}
+	}
+	if !evaluated {
+		return behavior.Vector{}, fmt.Errorf("predict: no algorithm has enough runs for leave-one-out")
+	}
+	for d := 0; d < behavior.Dims; d++ {
+		if counts[d] > 0 {
+			errSum[d] /= counts[d]
+		}
+	}
+	return errSum, nil
+}

@@ -1,0 +1,117 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"gcbench/internal/behavior"
+)
+
+// syntheticCorpus builds runs whose behavior is a smooth function of
+// (log size, alpha): Raw[d] = base[d] · (1 + 0.1·logSize + 0.2·alpha).
+func syntheticCorpus() []*behavior.Run {
+	var runs []*behavior.Run
+	base := behavior.Vector{0.5, 0.01, 1.0, 0.7}
+	for _, size := range []int64{1000, 10000, 100000, 1000000} {
+		for _, alpha := range []float64{2.0, 2.25, 2.5, 2.75, 3.0} {
+			factor := 1 + 0.1*math.Log10(float64(size)) + 0.2*alpha
+			var raw behavior.Vector
+			for d := range raw {
+				raw[d] = base[d] * factor
+			}
+			runs = append(runs, &behavior.Run{
+				Algorithm: "PR", Domain: "Graph Analytics",
+				NumEdges: size, Alpha: alpha, SizeLabel: "x",
+				Iterations: int(10 * factor), Raw: raw,
+			})
+		}
+	}
+	return runs
+}
+
+func TestPredictExactHit(t *testing.T) {
+	runs := syntheticCorpus()
+	p, err := New(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(Query{Algorithm: "PR", NumEdges: 10000, Alpha: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := findRun(runs, 10000, 2.5)
+	for d := 0; d < behavior.Dims; d++ {
+		if got.Raw[d] != want.Raw[d] {
+			t.Fatalf("exact-hit prediction differs: %v vs %v", got.Raw, want.Raw)
+		}
+	}
+	if got.Support != 1 {
+		t.Fatalf("exact hit support = %d", got.Support)
+	}
+}
+
+func findRun(runs []*behavior.Run, size int64, alpha float64) *behavior.Run {
+	for _, r := range runs {
+		if r.NumEdges == size && r.Alpha == alpha {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestPredictInterpolates(t *testing.T) {
+	runs := syntheticCorpus()
+	p, err := New(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query between grid points: 10^4.5 edges, alpha 2.4.
+	got, err := p.Predict(Query{Algorithm: "PR", NumEdges: 31623, Alpha: 2.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFactor := 1 + 0.1*math.Log10(31623) + 0.2*2.4
+	base := behavior.Vector{0.5, 0.01, 1.0, 0.7}
+	for d := 0; d < behavior.Dims; d++ {
+		want := base[d] * wantFactor
+		if math.Abs(got.Raw[d]-want)/want > 0.05 {
+			t.Fatalf("dim %d: predicted %v, want ≈%v", d, got.Raw[d], want)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	p, err := New(syntheticCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(Query{Algorithm: "CC", NumEdges: 1000}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := p.Predict(Query{Algorithm: "PR", NumEdges: 0}); err == nil {
+		t.Fatal("zero edges accepted")
+	}
+}
+
+func TestLeaveOneOutSmoothCorpus(t *testing.T) {
+	errs, err := LeaveOneOut(syntheticCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < behavior.Dims; d++ {
+		if errs[d] > 0.10 {
+			t.Fatalf("dim %s LOO error %v, want < 10%% on a smooth corpus",
+				behavior.DimNames[d], errs[d])
+		}
+	}
+}
+
+func TestLeaveOneOutNeedsEnoughRuns(t *testing.T) {
+	runs := syntheticCorpus()[:2]
+	if _, err := LeaveOneOut(runs); err == nil {
+		t.Fatal("tiny corpus accepted")
+	}
+}

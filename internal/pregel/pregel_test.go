@@ -1,0 +1,168 @@
+package pregel
+
+import (
+	"math"
+	"testing"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/gen"
+	"gcbench/internal/graph"
+)
+
+func testGraph(t *testing.T, edges int64, alpha float64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{NumEdges: edges, Alpha: alpha, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCCMatchesGAS(t *testing.T) {
+	g := testGraph(t, 2500, 2.4, 3)
+	res, err := Run[uint32, uint32](g, CCProgram{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gasLabels, err := algorithms.ConnectedComponents(g, algorithms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range gasLabels {
+		if res.States[v] != gasLabels[v] {
+			t.Fatalf("vertex %d: pregel %d, GAS %d", v, res.States[v], gasLabels[v])
+		}
+	}
+	if !res.Trace.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestSSSPMatchesGAS(t *testing.T) {
+	g := testGraph(t, 2500, 2.2, 5)
+	res, err := Run[float64, float64](g, SSSPProgram{Source: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gasDist, err := algorithms.SingleSourceShortestPath(g, 0, algorithms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range gasDist {
+		if res.States[v] != gasDist[v] {
+			t.Fatalf("vertex %d: pregel %v, GAS %v", v, res.States[v], gasDist[v])
+		}
+	}
+}
+
+func TestPageRankMatchesPowerIteration(t *testing.T) {
+	g := testGraph(t, 2000, 2.5, 7)
+	const steps = 60
+	res, err := Run[float64, float64](g, PRProgram{G: g, Damping: 0.85, Supersteps: steps},
+		Options{MaxSupersteps: steps + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GAS PageRank with a tight tolerance converges to the same fixed
+	// point the Pregel fixed-superstep run approaches.
+	_, gasRanks, err := algorithms.PageRank(g, algorithms.PageRankOptions{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range gasRanks {
+		if math.Abs(res.States[v]-gasRanks[v]) > 1e-4*(1+gasRanks[v]) {
+			t.Fatalf("vertex %d: pregel %v, GAS %v", v, res.States[v], gasRanks[v])
+		}
+	}
+}
+
+func TestVoteToHaltAndReactivation(t *testing.T) {
+	// On a path, SSSP's frontier sweeps once: each superstep exactly one
+	// new vertex improves (plus the initial source announcement).
+	n := 12
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(uint32(i), uint32(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run[float64, float64](g, SSSPProgram{Source: 0}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if res.States[v] != float64(v) {
+			t.Fatalf("dist[%d] = %v", v, res.States[v])
+		}
+	}
+	its := res.Trace.Iterations
+	// Superstep 0: all vertices compute (Pregel starts everyone active),
+	// then all vote to halt except those the source's message reactivates.
+	if its[0].Active != int64(n) {
+		t.Fatalf("superstep 0 active = %d, want %d", its[0].Active, n)
+	}
+	// After the initial all-active superstep, only the frontier vertex and
+	// (from superstep 2 on) its reactivated-but-unimproved predecessor
+	// compute — undirected edges message both ways.
+	for s := 1; s < len(its)-1; s++ {
+		if its[s].Active < 1 || its[s].Active > 2 {
+			t.Fatalf("superstep %d active = %d, want 1 or 2 (path frontier + rear)", s, its[s].Active)
+		}
+	}
+}
+
+func TestCombinerReducesDelivery(t *testing.T) {
+	// A star: all leaves message the hub in superstep 0 of CC. The
+	// combiner must deliver exactly one combined message (the minimum),
+	// and the hub must adopt label 0.
+	n := 9
+	b := graph.NewBuilder(n, false)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, uint32(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run[uint32, uint32](g, CCProgram{}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if res.States[v] != 0 {
+			t.Fatalf("label[%d] = %d, want 0", v, res.States[v])
+		}
+	}
+	// Messages counted pre-combining: superstep 0 sends one per arc.
+	if res.Trace.Iterations[0].Messages != g.NumArcs() {
+		t.Fatalf("superstep 0 messages = %d, want %d", res.Trace.Iterations[0].Messages, g.NumArcs())
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := testGraph(t, 3000, 2.3, 9)
+	var base []uint32
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Run[uint32, uint32](g, CCProgram{}, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res.States
+			continue
+		}
+		for v := range base {
+			if res.States[v] != base[v] {
+				t.Fatalf("workers=%d: vertex %d differs", workers, v)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run[uint32, uint32](nil, CCProgram{}, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package pregel
+
+import (
+	"math"
+
+	"gcbench/internal/graph"
+)
+
+// Pregel formulations of three study algorithms, used to check result
+// equivalence with the GAS implementations.
+
+// CCProgram is Pregel min-label propagation (the classic "maximum value"
+// example of the Pregel paper, inverted to minimum).
+type CCProgram struct{}
+
+// Init labels every vertex with its own ID.
+func (CCProgram) Init(_ *graph.Graph, v uint32) uint32 { return v }
+
+// Compute adopts the smallest incoming label and propagates improvements.
+func (CCProgram) Compute(ctx *Context[uint32], step int, v uint32, s uint32, msgs []uint32) uint32 {
+	improved := step == 0 // initially everyone announces
+	for _, m := range msgs {
+		if m < s {
+			s = m
+			improved = true
+		}
+	}
+	if improved {
+		ctx.SendToNeighbors(v, s)
+	}
+	ctx.VoteToHalt()
+	return s
+}
+
+// Combine keeps the smaller label.
+func (CCProgram) Combine(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SSSPProgram is Pregel distance relaxation.
+type SSSPProgram struct {
+	Source uint32
+}
+
+// Init sets the source to zero and everything else to infinity.
+func (p SSSPProgram) Init(_ *graph.Graph, v uint32) float64 {
+	if v == p.Source {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Compute relaxes on incoming proposals; weights ride on edges, so the
+// send must happen per-edge.
+func (p SSSPProgram) Compute(ctx *Context[float64], step int, v uint32, s float64, msgs []float64) float64 {
+	improved := step == 0 && v == p.Source
+	for _, m := range msgs {
+		if m < s {
+			s = m
+			improved = true
+		}
+	}
+	if improved {
+		g := ctx.g
+		lo, hi := g.OutArcRange(v)
+		for a := lo; a < hi; a++ {
+			ctx.SendTo(g.ArcTarget(a), s+g.ArcWeight(a))
+			ctx.out.edgeReads++
+		}
+	}
+	ctx.VoteToHalt()
+	return s
+}
+
+// Combine keeps the shorter proposal.
+func (p SSSPProgram) Combine(a, b float64) float64 { return math.Min(a, b) }
+
+// PRProgram is the Pregel paper's PageRank: run a fixed number of
+// supersteps, each vertex dividing its rank among its neighbors.
+type PRProgram struct {
+	G          *graph.Graph
+	Damping    float64
+	Supersteps int
+}
+
+// Init gives every vertex unit rank.
+func (p PRProgram) Init(_ *graph.Graph, _ uint32) float64 { return 1 }
+
+// Compute sums incoming shares, applies damping, and re-shares.
+func (p PRProgram) Compute(ctx *Context[float64], step int, v uint32, s float64, msgs []float64) float64 {
+	if step > 0 {
+		sum := 0.0
+		for _, m := range msgs {
+			sum += m
+		}
+		s = (1 - p.Damping) + p.Damping*sum
+	}
+	if step < p.Supersteps-1 {
+		if d := ctx.Degree(v); d > 0 {
+			ctx.SendToNeighbors(v, s/float64(d))
+		}
+	} else {
+		ctx.VoteToHalt()
+	}
+	return s
+}
+
+// Combine sums rank shares.
+func (p PRProgram) Combine(a, b float64) float64 { return a + b }

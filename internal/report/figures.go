@@ -1,0 +1,384 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"gcbench/internal/behavior"
+)
+
+// FigureOptions tunes the analysis figures.
+type FigureOptions struct {
+	// CoverageSamples is the Monte-Carlo sample count for coverage
+	// (default 1,000,000 — the paper's NS).
+	CoverageSamples int
+	// TopKSamples is the (smaller) sample count used inside the top-100
+	// beam search, where a full-precision estimate per candidate is
+	// unaffordable (default 20,000).
+	TopKSamples int
+	// MaxSize is the largest ensemble size analyzed (default 20).
+	MaxSize int
+	// TopKSize is the ensemble size of the §5.5 top-100 frequency
+	// analysis (default 5).
+	TopKSize int
+	// ActiveRows caps the number of iteration rows printed for active
+	// fraction figures (default 25; series are downsampled).
+	ActiveRows int
+}
+
+func (o FigureOptions) withDefaults() FigureOptions {
+	if o.CoverageSamples == 0 {
+		o.CoverageSamples = 1_000_000
+	}
+	if o.TopKSamples == 0 {
+		o.TopKSamples = 20_000
+	}
+	if o.MaxSize == 0 {
+		o.MaxSize = 20
+	}
+	if o.TopKSize == 0 {
+		o.TopKSize = 5
+	}
+	if o.ActiveRows == 0 {
+		o.ActiveRows = 25
+	}
+	return o
+}
+
+// FigureIDs lists every reproducible table/figure identifier.
+func FigureIDs() []string {
+	ids := []string{"table1", "table2"}
+	for i := 1; i <= 23; i++ {
+		ids = append(ids, fmt.Sprintf("%d", i))
+		if i == 19 {
+			ids = append(ids, "table3")
+		}
+	}
+	// "space" is an extra (behavior-space scatter), not a paper figure.
+	ids = append(ids, "space")
+	return ids
+}
+
+// Figure builds the named figure/table reproduction from the corpus.
+func Figure(c *Corpus, id string, opt FigureOptions) (*Report, error) {
+	opt = opt.withDefaults()
+	switch id {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(c), nil
+	case "1":
+		return activeFractionFigure(c, "1", "GA Active Fraction for All Graphs",
+			[]string{"CC", "KC", "TC", "SSSP", "PR", "AD"}, opt), nil
+	case "2":
+		return metricFigure(c, "2", "KC Metric Values", "KC"), nil
+	case "3":
+		return metricFigure(c, "3", "TC Metric Values", "TC"), nil
+	case "4":
+		return metricFigure(c, "4", "PR Metric Values", "PR"), nil
+	case "5":
+		return activeFractionFigure(c, "5", "KM Active Fraction for All Graphs",
+			[]string{"KM"}, opt), nil
+	case "6":
+		return metricFigure(c, "6", "KM Metric Values", "KM"), nil
+	case "7":
+		return activeFractionFigure(c, "7", "ALS Active Fraction for All Graphs",
+			[]string{"ALS"}, opt), nil
+	case "8":
+		return metricFigure(c, "8", "ALS Metric Values", "ALS"), nil
+	case "9":
+		return metricFigure(c, "9", "SGD Metric Values", "SGD"), nil
+	case "10":
+		return metricFigure(c, "10", "SVD Metric Values", "SVD"), nil
+	case "11":
+		return activeFractionFigure(c, "11", "Active Fraction for LBP",
+			[]string{"LBP"}, opt), nil
+	case "12":
+		return solverMetricFigure(c), nil
+	case "13":
+		return allAlgorithmsFigure(c), nil
+	case "14", "15", "16", "17", "18", "19", "table3", "20", "21", "22", "23":
+		return ensembleFigure(c, id, opt)
+	case "space":
+		return SpaceScatter(c), nil
+	default:
+		return nil, fmt.Errorf("report: unknown figure %q (known: %v)", id, FigureIDs())
+	}
+}
+
+// runsOf returns the corpus runs of one algorithm, sorted by (size, α).
+func runsOf(c *Corpus, alg string) []*behavior.Run {
+	var runs []*behavior.Run
+	for _, r := range c.Runs {
+		if r.Algorithm == alg {
+			runs = append(runs, r)
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool {
+		si, sj := parseSizeLabel(runs[i].SizeLabel), parseSizeLabel(runs[j].SizeLabel)
+		if si != sj {
+			return si < sj
+		}
+		return runs[i].Alpha < runs[j].Alpha
+	})
+	return runs
+}
+
+// activeFractionFigure prints per-iteration active fractions, one column
+// per graph, iterations downsampled to opt.ActiveRows rows.
+func activeFractionFigure(c *Corpus, id, title string, algs []string, opt FigureOptions) *Report {
+	rep := &Report{ID: "Figure " + id, Title: title,
+		Notes: []string{
+			"Active fraction = active vertices / all vertices per iteration (§3.4).",
+			"Iterations are downsampled to at most " + fmt.Sprint(opt.ActiveRows) + " rows; column = one graph run.",
+		}}
+	for _, alg := range algs {
+		runs := runsOf(c, alg)
+		if len(runs) == 0 {
+			continue
+		}
+		maxIter := 0
+		for _, r := range runs {
+			if len(r.ActiveFraction) > maxIter {
+				maxIter = len(r.ActiveFraction)
+			}
+		}
+		rows := opt.ActiveRows
+		if maxIter < rows {
+			rows = maxIter
+		}
+		t := &Table{Title: fmt.Sprintf("%s (converges in %d-%d iterations)", alg, minIter(runs), maxIter)}
+		t.Header = append(t.Header, "iter")
+		for _, r := range runs {
+			if r.Alpha != 0 {
+				t.Header = append(t.Header, fmt.Sprintf("%s/α%.2f", r.SizeLabel, r.Alpha))
+			} else {
+				t.Header = append(t.Header, r.SizeLabel)
+			}
+		}
+		for k := 0; k < rows; k++ {
+			iter := k
+			if rows > 1 {
+				iter = k * (maxIter - 1) / (rows - 1)
+			}
+			cells := []string{fmt.Sprint(iter)}
+			for _, r := range runs {
+				if iter < len(r.ActiveFraction) {
+					cells = append(cells, fmt.Sprintf("%.3f", r.ActiveFraction[iter]))
+				} else {
+					cells = append(cells, "-") // converged earlier
+				}
+			}
+			t.AddRow(cells...)
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep
+}
+
+func minIter(runs []*behavior.Run) int {
+	m := runs[0].Iterations
+	for _, r := range runs {
+		if r.Iterations < m {
+			m = r.Iterations
+		}
+	}
+	return m
+}
+
+// metricFigure prints one algorithm's four per-edge metrics across its
+// graph sweep, max-normalized within the figure as in §3.4.
+func metricFigure(c *Corpus, id, title, alg string) *Report {
+	runs := runsOf(c, alg)
+	rep := &Report{ID: "Figure " + id, Title: title,
+		Notes: []string{
+			"Per-edge metrics (value / iteration / edge), max-normalized to ≤ 1.0 within this figure (§3.4).",
+		}}
+	var maxV behavior.Vector
+	for _, r := range runs {
+		for d := 0; d < behavior.Dims; d++ {
+			if r.Raw[d] > maxV[d] {
+				maxV[d] = r.Raw[d]
+			}
+		}
+	}
+	t := &Table{Header: []string{"size", "alpha", "UPDT", "WORK", "EREAD", "MSG", "iters"}}
+	for _, r := range runs {
+		cells := []string{r.SizeLabel, fmt.Sprintf("%.2f", r.Alpha)}
+		for d := 0; d < behavior.Dims; d++ {
+			v := 0.0
+			if maxV[d] > 0 {
+				v = r.Raw[d] / maxV[d]
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", v))
+		}
+		cells = append(cells, fmt.Sprint(r.Iterations))
+		t.AddRow(cells...)
+	}
+	rep.Tables = append(rep.Tables, t)
+	return rep
+}
+
+// solverMetricFigure is Figure 12: Jacobi, LBP and DD metrics vs size.
+func solverMetricFigure(c *Corpus) *Report {
+	rep := &Report{ID: "Figure 12", Title: "Metric Values for Jacobi, LBP, and DD",
+		Notes: []string{
+			"Per-edge metrics max-normalized to ≤ 1.0 within this figure (§3.4).",
+		}}
+	var runs []*behavior.Run
+	for _, alg := range []string{"Jacobi", "LBP", "DD"} {
+		runs = append(runs, runsOf(c, alg)...)
+	}
+	var maxV behavior.Vector
+	for _, r := range runs {
+		for d := 0; d < behavior.Dims; d++ {
+			if r.Raw[d] > maxV[d] {
+				maxV[d] = r.Raw[d]
+			}
+		}
+	}
+	t := &Table{Header: []string{"algorithm", "size", "UPDT", "WORK", "EREAD", "MSG", "iters"}}
+	for _, r := range runs {
+		cells := []string{r.Algorithm, r.SizeLabel}
+		for d := 0; d < behavior.Dims; d++ {
+			v := 0.0
+			if maxV[d] > 0 {
+				v = r.Raw[d] / maxV[d]
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", v))
+		}
+		cells = append(cells, fmt.Sprint(r.Iterations))
+		t.AddRow(cells...)
+	}
+	rep.Tables = append(rep.Tables, t)
+	return rep
+}
+
+// allAlgorithmsFigure is Figure 13: every algorithm's mean metric values
+// on one normalized scale, plus the §1 "1000-fold variation" check.
+func allAlgorithmsFigure(c *Corpus) *Report {
+	rep := &Report{ID: "Figure 13", Title: "Metric Values for All Algorithms",
+		Notes: []string{
+			"Mean per-edge metrics per algorithm, max-normalized across all algorithms.",
+		}}
+	byAlg := map[string][]*behavior.Run{}
+	var order []string
+	for _, r := range c.Runs {
+		if _, ok := byAlg[r.Algorithm]; !ok {
+			order = append(order, r.Algorithm)
+		}
+		byAlg[r.Algorithm] = append(byAlg[r.Algorithm], r)
+	}
+	means := map[string]behavior.Vector{}
+	var maxV behavior.Vector
+	for alg, runs := range byAlg {
+		var m behavior.Vector
+		for _, r := range runs {
+			for d := 0; d < behavior.Dims; d++ {
+				m[d] += r.Raw[d]
+			}
+		}
+		for d := 0; d < behavior.Dims; d++ {
+			m[d] /= float64(len(runs))
+			if m[d] > maxV[d] {
+				maxV[d] = m[d]
+			}
+		}
+		means[alg] = m
+	}
+	t := &Table{Header: []string{"algorithm", "UPDT", "WORK", "EREAD", "MSG"}}
+	for _, alg := range order {
+		m := means[alg]
+		cells := []string{alg}
+		for d := 0; d < behavior.Dims; d++ {
+			v := 0.0
+			if maxV[d] > 0 {
+				v = m[d] / maxV[d]
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", v))
+		}
+		t.AddRow(cells...)
+	}
+	rep.Tables = append(rep.Tables, t)
+
+	rr := behavior.RangeRatio(c.Runs)
+	v := &Table{Title: "Behavior variation across the corpus (contribution 1: ~1000-fold)",
+		Header: []string{"dimension", "max/min ratio"}}
+	for d := 0; d < behavior.Dims; d++ {
+		v.AddRow(behavior.DimNames[d], F(rr[d]))
+	}
+	rep.Tables = append(rep.Tables, v)
+	return rep
+}
+
+// Table1 reprints the paper's survey of prior comparative studies — it is
+// background, not an experiment, and is included for completeness.
+func Table1() *Report {
+	rep := &Report{ID: "Table 1", Title: "Comparative Graph Processing System Evaluations (survey reprint)",
+		Notes: []string{"Static background from the paper; nothing to measure."}}
+	t := &Table{Header: []string{"study", "systems", "algorithms", "graphs"}}
+	t.AddRow("M. Han [10]", "Giraph, GPS, Mizan, GraphLab",
+		"PageRank, SSSP, WCC, DMST",
+		"soc-LiveJournal, com-Orkut, Arabic-2005, Twitter-2010, UK-2007-05")
+	t.AddRow("B. Elser [6]", "Map-Reduce, Stratosphere, Hama, Giraph, GraphLab",
+		"K-core decomposition",
+		"ca.AstroPh, ca.CondMat, Amazon0601, web-BerkStan, com.Youtube, wiki-Talk, com.Orkut")
+	t.AddRow("Y. Guo [9]", "Hadoop, YARN, Stratosphere, Giraph, GraphLab, Neo4j",
+		"Statistics, BFS, CC, CD, GE",
+		"Amazon, WikiTalk, KGS, Citation, DotaLeague, Synth, Friendster")
+	rep.Tables = append(rep.Tables, t)
+	return rep
+}
+
+// Table2 prints the realized campaign matrix: the graph feature variables
+// per domain, as measured from the corpus.
+func Table2(c *Corpus) *Report {
+	rep := &Report{ID: "Table 2", Title: "Graph Feature Variables",
+		Notes: []string{
+			"Scales are the laptop-scale mapping of the paper's Table 2 (see DESIGN.md §3).",
+		}}
+	sizes := map[string]map[string]bool{}
+	alphas := map[string]map[string]bool{}
+	algsOf := map[string]map[string]bool{}
+	var domains []string
+	for _, r := range c.Runs {
+		if _, ok := sizes[r.Domain]; !ok {
+			domains = append(domains, r.Domain)
+			sizes[r.Domain] = map[string]bool{}
+			alphas[r.Domain] = map[string]bool{}
+			algsOf[r.Domain] = map[string]bool{}
+		}
+		sizes[r.Domain][r.SizeLabel] = true
+		if r.Alpha != 0 {
+			alphas[r.Domain][fmt.Sprintf("%.2f", r.Alpha)] = true
+		}
+		algsOf[r.Domain][r.Algorithm] = true
+	}
+	t := &Table{Header: []string{"domain", "algorithms", "sizes", "alpha"}}
+	for _, d := range domains {
+		t.AddRow(d, joinSortedBySize(algsOf[d], false), joinSortedBySize(sizes[d], true),
+			joinSortedBySize(alphas[d], false))
+	}
+	rep.Tables = append(rep.Tables, t)
+	return rep
+}
+
+func joinSortedBySize(set map[string]bool, numeric bool) string {
+	var xs []string
+	for k := range set {
+		xs = append(xs, k)
+	}
+	if numeric {
+		sort.Slice(xs, func(i, j int) bool { return parseSizeLabel(xs[i]) < parseSizeLabel(xs[j]) })
+	} else {
+		sort.Strings(xs)
+	}
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += x
+	}
+	return out
+}

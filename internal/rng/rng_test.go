@@ -1,0 +1,279 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: streams diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical 64-bit draws out of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	if v == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child must differ from a fresh continuation of the parent.
+	diverged := false
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() != child.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("split child mirrors parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from expected %v", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(200)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum: %d vs %d", got, sum)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(21)
+	const draws = 400000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		got := counts[i] / draws
+		want := w / 10.0
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("outcome %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, ws := range cases {
+		if _, err := NewAlias(ws); err == nil {
+			t.Fatalf("NewAlias(%v) succeeded, want error", ws)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero index")
+		}
+	}
+}
+
+func TestZipfDistributionShape(t *testing.T) {
+	const n, alpha, draws = 50, 2.0, 500000
+	z, err := NewZipf(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(33)
+	counts := make([]float64, n+1)
+	for i := 0; i < draws; i++ {
+		k := z.Draw(r)
+		if k < 1 || k > n {
+			t.Fatalf("Zipf draw %d out of [1,%d]", k, n)
+		}
+		counts[k]++
+	}
+	// P(1)/P(2) should be 2^alpha = 4.
+	ratio := counts[1] / counts[2]
+	if math.Abs(ratio-4) > 0.3 {
+		t.Fatalf("P(1)/P(2) = %v, want ~4 for alpha=2", ratio)
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 2.0); err == nil {
+		t.Fatal("NewZipf(0, _) succeeded")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("NewZipf(_, -1) succeeded")
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	w := PowerLawWeights(4, 2.0)
+	want := []float64{1, 0.25, 1.0 / 9.0, 1.0 / 16.0}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weight[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	a, _ := NewAlias(PowerLawWeights(1<<16, 2.2))
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Draw(r)
+	}
+	_ = sink
+}

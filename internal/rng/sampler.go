@@ -1,0 +1,125 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias samples from an arbitrary discrete distribution in O(1) per draw
+// using Vose's alias method. Construction is O(n).
+type Alias struct {
+	prob  []float64 // probability of returning i directly from column i
+	alias []int32   // fallback outcome for column i
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// Weights need not be normalized. It returns an error if the weights are
+// empty, contain negatives/NaN, or sum to zero.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("rng: weights sum to zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale so the average column holds exactly 1.0 of probability mass.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical residue: remaining columns carry full mass.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Draw returns an outcome in [0, N()) with probability proportional to its
+// construction weight.
+func (a *Alias) Draw(r *Source) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// PowerLawWeights returns weights w_k proportional to k^(-alpha) for
+// k = 1..n, i.e. the discrete power-law degree distribution of Eq. (1) in
+// the paper. Index i holds the weight of degree i+1.
+func PowerLawWeights(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		w[k-1] = math.Pow(float64(k), -alpha)
+	}
+	return w
+}
+
+// Zipf draws integers in [1, n] with P(k) proportional to k^(-alpha),
+// backed by an alias table (O(1) per draw after O(n) setup).
+type Zipf struct {
+	alias *Alias
+}
+
+// NewZipf constructs a power-law sampler over [1, n]. It panics only on
+// programmer error (n <= 0 handled by error return).
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rng: Zipf needs n > 0, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("rng: Zipf needs alpha >= 0, got %v", alpha)
+	}
+	a, err := NewAlias(PowerLawWeights(n, alpha))
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{alias: a}, nil
+}
+
+// Draw returns a degree value in [1, n].
+func (z *Zipf) Draw(r *Source) int { return z.alias.Draw(r) + 1 }

@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/behavior"
+	"gcbench/internal/gen"
+	"gcbench/internal/graph"
+)
+
+// Config controls campaign execution.
+type Config struct {
+	// Workers is the engine parallelism within one run (0 = GOMAXPROCS).
+	Workers int
+	// Parallel is how many runs execute concurrently (0 = GOMAXPROCS/2,
+	// min 1). Runs are independent; graph construction is cached and
+	// shared.
+	Parallel int
+	// Progress, when non-nil, is called after each completed run.
+	Progress func(done, total int, id string)
+}
+
+// Execute runs every spec and returns the behavior corpus in spec order.
+func Execute(specs []Spec, cfg Config) ([]*behavior.Run, error) {
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0) / 2
+		if par < 1 {
+			par = 1
+		}
+	}
+	runs := make([]*behavior.Run, len(specs))
+	errs := make([]error, len(specs))
+	cache := &graphCache{}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	var mu sync.Mutex
+	done := 0
+	for i := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runs[i], errs[i] = RunSpec(specs[i], cfg.Workers, cache)
+			if cfg.Progress != nil {
+				mu.Lock()
+				done++
+				cfg.Progress(done, len(specs), specs[i].ID())
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: run %s: %w", specs[i].ID(), err)
+		}
+	}
+	return runs, nil
+}
+
+// graphCache shares generated graphs between algorithms in the same
+// domain group, as the paper shares one graph per structure.
+type graphCache struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+func (c *graphCache) getOrBuild(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]any)
+	}
+	if v, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	// Build outside the lock; duplicate builds are possible but harmless
+	// (deterministic) and rare.
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v, nil
+}
+
+// cfGraph pairs a rating graph with its user count.
+type cfGraph struct {
+	g     *graph.Graph
+	users int
+}
+
+// RunSpec executes one graph computation and converts its trace into a
+// behavior run. cache may be nil.
+func RunSpec(spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
+	if cache == nil {
+		cache = &graphCache{}
+	}
+	opt := algorithms.Options{Workers: workers}
+	var out *algorithms.Output
+	var err error
+
+	switch spec.Algorithm {
+	case algorithms.CC, algorithms.KC, algorithms.TC, algorithms.SSSP,
+		algorithms.PR, algorithms.AD, algorithms.KM:
+		g, gerr := gaGraph(spec, cache)
+		if gerr != nil {
+			return nil, gerr
+		}
+		switch spec.Algorithm {
+		case algorithms.CC:
+			out, _, err = algorithms.ConnectedComponents(g, opt)
+		case algorithms.KC:
+			out, _, err = algorithms.KCoreDecomposition(g, opt)
+		case algorithms.TC:
+			out, _, err = algorithms.TriangleCounting(g, opt)
+		case algorithms.SSSP:
+			out, _, err = algorithms.SingleSourceShortestPath(g, maxDegreeVertex(g), opt)
+		case algorithms.PR:
+			out, _, err = algorithms.PageRank(g, algorithms.PageRankOptions{Options: opt})
+		case algorithms.AD:
+			out, _, err = algorithms.ApproximateDiameter(g, opt)
+		case algorithms.KM:
+			kmOpt := algorithms.KMeansOptions{Options: opt, Seed: spec.Seed}
+			kmOpt.MaxIterations = 1000
+			out, _, err = algorithms.KMeans(g, kmOpt)
+		}
+
+	case algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD:
+		key := fmt.Sprintf("cf/%d/%.2f/%d", spec.NumEdges, spec.Alpha, spec.Seed)
+		v, gerr := cache.getOrBuild(key, func() (any, error) {
+			g, users, err := gen.Bipartite(gen.BipartiteConfig{
+				NumEdges: spec.NumEdges, Alpha: spec.Alpha, Seed: spec.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return cfGraph{g, users}, nil
+		})
+		if gerr != nil {
+			return nil, gerr
+		}
+		cg := v.(cfGraph)
+		switch spec.Algorithm {
+		case algorithms.ALS:
+			out, _, err = algorithms.AlternatingLeastSquares(cg.g, cg.users, algorithms.ALSOptions{Options: opt})
+		case algorithms.NMF:
+			out, _, err = algorithms.NonnegativeMatrixFactorization(cg.g, cg.users, algorithms.NMFOptions{Options: opt})
+		case algorithms.SGD:
+			out, _, err = algorithms.StochasticGradientDescent(cg.g, cg.users, algorithms.SGDOptions{Options: opt})
+		case algorithms.SVD:
+			out, _, err = algorithms.SingularValueDecomposition(cg.g, cg.users, algorithms.SVDOptions{Options: opt})
+		}
+
+	case algorithms.Jacobi:
+		sys, gerr := gen.Matrix(gen.JacobiConfig{NumRows: spec.NumRows, Seed: spec.Seed})
+		if gerr != nil {
+			return nil, gerr
+		}
+		out, _, err = algorithms.JacobiSolve(sys, algorithms.JacobiOptions{Options: opt})
+
+	case algorithms.LBP:
+		m, gerr := gen.Grid(gen.GridConfig{Rows: spec.NumRows, Seed: spec.Seed})
+		if gerr != nil {
+			return nil, gerr
+		}
+		out, _, err = algorithms.LoopyBeliefPropagation(m, algorithms.LBPOptions{Options: opt})
+
+	case algorithms.DD:
+		m, gerr := gen.MRF(gen.MRFConfig{NumEdges: spec.NumEdges, Seed: spec.Seed})
+		if gerr != nil {
+			return nil, gerr
+		}
+		out, _, err = algorithms.DualDecomposition(m, algorithms.DDOptions{Options: opt})
+
+	default:
+		return nil, fmt.Errorf("sweep: unknown algorithm %q", spec.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	r := &behavior.Run{
+		Algorithm:      string(spec.Algorithm),
+		Domain:         spec.Algorithm.Domain(),
+		NumEdges:       out.Trace.NumEdges,
+		Alpha:          spec.Alpha,
+		SizeLabel:      spec.SizeLabel,
+		Iterations:     out.Trace.NumIterations(),
+		Converged:      out.Trace.Converged,
+		ActiveFraction: out.Trace.ActiveFraction(),
+		Raw:            behavior.FromTrace(out.Trace),
+	}
+	return r, nil
+}
+
+// gaGraph builds (or fetches) the shared Graph Analytics / Clustering
+// graph for a spec: undirected, sorted adjacency (for TC), with 2-D
+// Gaussian features attached (for KM).
+func gaGraph(spec Spec, cache *graphCache) (*graph.Graph, error) {
+	key := fmt.Sprintf("ga/%d/%.2f/%d", spec.NumEdges, spec.Alpha, spec.Seed)
+	v, err := cache.getOrBuild(key, func() (any, error) {
+		g, err := gen.PowerLaw(gen.PowerLawConfig{
+			NumEdges:      spec.NumEdges,
+			Alpha:         spec.Alpha,
+			Seed:          spec.Seed,
+			SortAdjacency: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts := gen.GaussianPoints2D(g.NumVertices(), 8, 15, spec.Seed^0xfeed)
+		if err := g.SetFeatures(2, pts); err != nil {
+			return nil, err
+		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Graph), nil
+}
+
+// maxDegreeVertex picks the SSSP source: the highest-degree vertex, so
+// the frontier expansion the paper describes is visible on every graph
+// (a random isolated source would trivialize the run).
+func maxDegreeVertex(g *graph.Graph) uint32 {
+	best, bestDeg := uint32(0), -1
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if d := g.OutDegree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// SaveRuns writes the corpus as JSON.
+func SaveRuns(w io.Writer, runs []*behavior.Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(runs)
+}
+
+// LoadRuns reads a corpus written by SaveRuns.
+func LoadRuns(r io.Reader) ([]*behavior.Run, error) {
+	var runs []*behavior.Run
+	if err := json.NewDecoder(r).Decode(&runs); err != nil {
+		return nil, fmt.Errorf("sweep: decoding runs: %w", err)
+	}
+	return runs, nil
+}
+
+// SaveRunsFile and LoadRunsFile are path convenience wrappers.
+func SaveRunsFile(path string, runs []*behavior.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveRuns(f, runs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRunsFile reads a corpus file.
+func LoadRunsFile(path string) ([]*behavior.Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadRuns(f)
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/behavior"
+	"gcbench/internal/gen"
+	"gcbench/internal/graph"
+)
+
+// ExportSuite materializes a designed benchmark suite to disk: for each
+// selected run, the workload file that reproduces it (edge list or UAI
+// MRF) plus a MANIFEST.txt describing the members — so an ensemble chosen
+// for spread/coverage can be carried to any graph-processing system, the
+// end goal of the paper's methodology.
+func ExportSuite(dir string, runs []*behavior.Run, seedOf func(*behavior.Run) uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	manifest, err := os.Create(filepath.Join(dir, "MANIFEST.txt"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	fmt.Fprintln(manifest, "# gcbench benchmark suite")
+	fmt.Fprintln(manifest, "# member  algorithm  size  alpha  workload-file")
+
+	for i, r := range runs {
+		seed := uint64(i + 1)
+		if seedOf != nil {
+			seed = seedOf(r)
+		}
+		name, err := exportWorkload(dir, i, r, seed)
+		if err != nil {
+			return fmt.Errorf("sweep: exporting %s: %w", r.ID(), err)
+		}
+		fmt.Fprintf(manifest, "%d  %s  %s  %.2f  %s\n", i, r.Algorithm, r.SizeLabel, r.Alpha, name)
+	}
+	return manifest.Close()
+}
+
+// exportWorkload writes one member's input file and returns its name.
+func exportWorkload(dir string, i int, r *behavior.Run, seed uint64) (string, error) {
+	alg := algorithms.Name(r.Algorithm)
+	base := fmt.Sprintf("%02d-%s-%s", i, r.Algorithm, r.SizeLabel)
+	switch alg {
+	case algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD:
+		g, _, err := gen.Bipartite(gen.BipartiteConfig{
+			NumEdges: r.NumEdges, Alpha: r.Alpha, Seed: seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		return base + ".el", writeEdgeFile(dir, base+".el", g)
+	case algorithms.LBP:
+		side := intSqrt(int(r.NumEdges))
+		if side < 2 {
+			side = 2
+		}
+		m, err := gen.Grid(gen.GridConfig{Rows: side, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return base + ".uai", writeUAIFile(dir, base+".uai", m)
+	case algorithms.DD:
+		m, err := gen.MRF(gen.MRFConfig{NumEdges: r.NumEdges, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return base + ".uai", writeUAIFile(dir, base+".uai", m)
+	case algorithms.Jacobi:
+		sys, err := gen.Matrix(gen.JacobiConfig{NumRows: int(r.NumEdges) / 8, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return base + ".el", writeEdgeFile(dir, base+".el", sys.G)
+	default:
+		g, err := gen.PowerLaw(gen.PowerLawConfig{
+			NumEdges: r.NumEdges, Alpha: r.Alpha, Seed: seed, SortAdjacency: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		return base + ".el", writeEdgeFile(dir, base+".el", g)
+	}
+}
+
+func writeEdgeFile(dir, name string, g *graph.Graph) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeUAIFile(dir, name string, m *graph.MRF) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := graph.WriteUAI(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcbench/internal/behavior"
+	"gcbench/internal/graph"
+)
+
+func TestExportSuite(t *testing.T) {
+	dir := t.TempDir()
+	members := []*behavior.Run{
+		{Algorithm: "TC", Domain: "Graph Analytics", NumEdges: 300, Alpha: 2.5, SizeLabel: "300"},
+		{Algorithm: "ALS", Domain: "Collaborative Filtering", NumEdges: 200, Alpha: 2.0, SizeLabel: "200"},
+		{Algorithm: "DD", Domain: "Graphical Model", NumEdges: 80, SizeLabel: "80"},
+		{Algorithm: "LBP", Domain: "Graphical Model", NumEdges: 100, SizeLabel: "100"},
+		{Algorithm: "Jacobi", Domain: "Linear Solver", NumEdges: 800, SizeLabel: "100"},
+	}
+	if err := ExportSuite(dir, members, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"TC", "ALS", "DD", "LBP", "Jacobi"} {
+		if !strings.Contains(string(manifest), alg) {
+			t.Fatalf("manifest missing %s:\n%s", alg, manifest)
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 { // 5 workloads + manifest
+		t.Fatalf("exported %d files, want 6", len(entries))
+	}
+
+	// Every exported edge list must parse back; every UAI must parse back.
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		switch {
+		case strings.HasSuffix(e.Name(), ".el"):
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.ReadEdgeList(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if g.NumEdges() == 0 {
+				t.Fatalf("%s: empty graph", e.Name())
+			}
+		case strings.HasSuffix(e.Name(), ".uai"):
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := graph.ReadUAI(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if m.G.NumEdges() == 0 {
+				t.Fatalf("%s: empty MRF", e.Name())
+			}
+		}
+	}
+}
+
+func TestExportSuiteCustomSeeds(t *testing.T) {
+	dir := t.TempDir()
+	members := []*behavior.Run{
+		{Algorithm: "CC", Domain: "Graph Analytics", NumEdges: 200, Alpha: 2.5, SizeLabel: "200"},
+	}
+	called := false
+	err := ExportSuite(dir, members, func(r *behavior.Run) uint64 {
+		called = true
+		return 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("seed function not consulted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package sweep builds and executes the paper's experiment campaign
+// (Table 2): every algorithm run over its domain's graph-feature matrix,
+// producing the behavior-run corpus that Sections 4 and 5 analyze.
+//
+// The paper's absolute scales (nedges up to 10^9 on a 48-node cluster)
+// are mapped to laptop-scale profiles; per-edge normalization makes the
+// behavior vectors scale-invariant to first order (see DESIGN.md §3).
+package sweep
+
+import (
+	"fmt"
+
+	"gcbench/internal/algorithms"
+)
+
+// Spec identifies one graph computation: the <algorithm, graph size,
+// degree distribution> tuple of §5.1.
+type Spec struct {
+	Algorithm algorithms.Name `json:"algorithm"`
+	// NumEdges is the generator's target edge count (GA, Clustering, CF
+	// and DD workloads).
+	NumEdges int64 `json:"numEdges,omitempty"`
+	// Alpha is the power-law exponent (0 where Table 2 has no α column).
+	Alpha float64 `json:"alpha,omitempty"`
+	// NumRows is the matrix/grid dimension (Jacobi and LBP workloads).
+	NumRows int `json:"numRows,omitempty"`
+	// SizeLabel is the human-readable scale column of Table 2.
+	SizeLabel string `json:"sizeLabel"`
+	// Seed selects the graph's random stream; runs sharing a graph share
+	// the seed, mirroring the paper's one-graph-per-structure setup.
+	Seed uint64 `json:"seed"`
+}
+
+// ID renders the spec's identifying tuple.
+func (s Spec) ID() string {
+	if s.Alpha == 0 {
+		return fmt.Sprintf("<%s, %s>", s.Algorithm, s.SizeLabel)
+	}
+	return fmt.Sprintf("<%s, %s, %.2f>", s.Algorithm, s.SizeLabel, s.Alpha)
+}
+
+// Profile selects the campaign scale.
+type Profile string
+
+const (
+	// ProfileQuick is for tests and smoke runs (seconds).
+	ProfileQuick Profile = "quick"
+	// ProfileStandard is the default laptop-scale reproduction (minutes).
+	ProfileStandard Profile = "standard"
+	// ProfileLarge pushes one decade further (tens of minutes).
+	ProfileLarge Profile = "large"
+)
+
+// Alphas is the paper's degree-distribution sweep (Table 2).
+var Alphas = []float64{2.0, 2.25, 2.5, 2.75, 3.0}
+
+// profileScales returns the four graph-size decades per domain group.
+func profileScales(p Profile) (ga, cf []int64, rows, grids []int, ddEdges []int64, err error) {
+	// DD sizes are the paper's real MRF sizes at every profile — they are
+	// already laptop-scale.
+	ddEdges = []int64{1056, 1190, 1406, 1560}
+	switch p {
+	case ProfileQuick:
+		ga = []int64{300, 1000, 3000, 10000}
+		cf = []int64{100, 300, 1000, 3000}
+		rows = []int{100, 200, 300, 400}
+		grids = []int{12, 16, 24, 32}
+	case ProfileStandard:
+		ga = []int64{1000, 10000, 100000, 1000000}
+		cf = []int64{100, 1000, 10000, 100000}
+		rows = []int{500, 1000, 1500, 2000}
+		grids = []int{50, 100, 150, 200}
+	case ProfileLarge:
+		ga = []int64{10000, 100000, 1000000, 10000000}
+		cf = []int64{1000, 10000, 100000, 1000000}
+		rows = []int{5000, 10000, 15000, 20000}
+		grids = []int{100, 200, 300, 400}
+	default:
+		err = fmt.Errorf("sweep: unknown profile %q", p)
+	}
+	return
+}
+
+// sizeLabel renders an edge count compactly (1000 → "1e3").
+func sizeLabel(n int64) string {
+	e := 0
+	v := n
+	for v >= 10 && v%10 == 0 {
+		v /= 10
+		e++
+	}
+	if v < 10 && e >= 3 {
+		return fmt.Sprintf("%de%d", v, e)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// graphSeed derives the shared seed of a graph structure so every
+// algorithm in a domain group sees the same graph, as in the paper.
+func graphSeed(base uint64, group string, size int64, alpha float64) uint64 {
+	h := base ^ 0x9e3779b97f4a7c15
+	for _, c := range group {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	h = (h ^ uint64(size)) * 0x100000001b3
+	h = (h ^ uint64(alpha*100)) * 0x100000001b3
+	return h
+}
+
+// BuildPlan constructs the Table 2 campaign for a profile: for each
+// Graph Analytics and Clustering algorithm, 4 sizes × 5 alphas; for each
+// CF algorithm, the same grid one decade lower; Jacobi and LBP over four
+// matrix dimensions; DD over the four paper MRF sizes.
+func BuildPlan(p Profile, seed uint64) ([]Spec, error) {
+	ga, cf, rows, grids, ddEdges, err := profileScales(p)
+	if err != nil {
+		return nil, err
+	}
+	var specs []Spec
+	gaAlgs := []algorithms.Name{algorithms.CC, algorithms.KC, algorithms.TC,
+		algorithms.SSSP, algorithms.PR, algorithms.AD, algorithms.KM}
+	for _, alg := range gaAlgs {
+		for _, size := range ga {
+			for _, alpha := range Alphas {
+				specs = append(specs, Spec{
+					Algorithm: alg,
+					NumEdges:  size,
+					Alpha:     alpha,
+					SizeLabel: sizeLabel(size),
+					Seed:      graphSeed(seed, "ga", size, alpha),
+				})
+			}
+		}
+	}
+	cfAlgs := []algorithms.Name{algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD}
+	for _, alg := range cfAlgs {
+		for _, size := range cf {
+			for _, alpha := range Alphas {
+				specs = append(specs, Spec{
+					Algorithm: alg,
+					NumEdges:  size,
+					Alpha:     alpha,
+					SizeLabel: sizeLabel(size),
+					Seed:      graphSeed(seed, "cf", size, alpha),
+				})
+			}
+		}
+	}
+	for _, r := range rows {
+		specs = append(specs, Spec{
+			Algorithm: algorithms.Jacobi,
+			NumRows:   r,
+			SizeLabel: fmt.Sprintf("%d", r),
+			Seed:      graphSeed(seed, "jacobi", int64(r), 0),
+		})
+	}
+	for _, side := range grids {
+		specs = append(specs, Spec{
+			Algorithm: algorithms.LBP,
+			NumRows:   side,
+			SizeLabel: fmt.Sprintf("%d", side),
+			Seed:      graphSeed(seed, "lbp", int64(side), 0),
+		})
+	}
+	for _, e := range ddEdges {
+		specs = append(specs, Spec{
+			Algorithm: algorithms.DD,
+			NumEdges:  e,
+			SizeLabel: fmt.Sprintf("%d", e),
+			Seed:      graphSeed(seed, "dd", e, 0),
+		})
+	}
+	return specs, nil
+}

@@ -1,0 +1,129 @@
+// Package trace records per-iteration behavior of a graph computation —
+// the raw measurements behind the paper's five metrics (active fraction,
+// UPDT, WORK, EREAD, MSG).
+package trace
+
+import "time"
+
+// IterationStats captures one synchronous GAS iteration.
+type IterationStats struct {
+	// Iteration is the 0-based iteration number.
+	Iteration int `json:"iteration"`
+	// Active is the number of active vertices at iteration start.
+	Active int64 `json:"active"`
+	// Updates is the number of vertex updates (apply calls) — the paper's
+	// UPDT numerator.
+	Updates int64 `json:"updates"`
+	// EdgeReads is the number of gather operations ("the operation of
+	// collecting data through an edge is called an edge read").
+	EdgeReads int64 `json:"edgeReads"`
+	// Messages is the number of scatter activation signals ("a signal is
+	// called a message").
+	Messages int64 `json:"messages"`
+	// ApplyTime is time spent in the user-defined apply function — the
+	// paper's WORK numerator.
+	ApplyTime time.Duration `json:"applyTimeNs"`
+	// WallTime is the full iteration wall-clock time.
+	WallTime time.Duration `json:"wallTimeNs"`
+}
+
+// RunTrace is the complete record of one graph computation.
+type RunTrace struct {
+	NumVertices int              `json:"numVertices"`
+	NumEdges    int64            `json:"numEdges"`
+	Iterations  []IterationStats `json:"iterations"`
+	// Converged is false when the run stopped at the iteration cap
+	// instead of by its own convergence condition.
+	Converged bool `json:"converged"`
+}
+
+// NumIterations returns the number of iterations executed.
+func (t *RunTrace) NumIterations() int { return len(t.Iterations) }
+
+// ActiveFraction returns the per-iteration active fraction series —
+// the paper's first behavior metric.
+func (t *RunTrace) ActiveFraction() []float64 {
+	out := make([]float64, len(t.Iterations))
+	n := float64(t.NumVertices)
+	for i, it := range t.Iterations {
+		out[i] = float64(it.Active) / n
+	}
+	return out
+}
+
+// MeanUpdates returns the average number of vertex updates per iteration
+// (UPDT before per-edge normalization).
+func (t *RunTrace) MeanUpdates() float64 {
+	if len(t.Iterations) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, it := range t.Iterations {
+		sum += it.Updates
+	}
+	return float64(sum) / float64(len(t.Iterations))
+}
+
+// MeanEdgeReads returns the average number of edge reads per iteration
+// (EREAD before per-edge normalization).
+func (t *RunTrace) MeanEdgeReads() float64 {
+	if len(t.Iterations) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, it := range t.Iterations {
+		sum += it.EdgeReads
+	}
+	return float64(sum) / float64(len(t.Iterations))
+}
+
+// MeanMessages returns the average number of messages per iteration
+// (MSG before per-edge normalization).
+func (t *RunTrace) MeanMessages() float64 {
+	if len(t.Iterations) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, it := range t.Iterations {
+		sum += it.Messages
+	}
+	return float64(sum) / float64(len(t.Iterations))
+}
+
+// MeanApplySeconds returns the average apply-phase CPU seconds per
+// iteration (WORK before per-edge normalization).
+func (t *RunTrace) MeanApplySeconds() float64 {
+	if len(t.Iterations) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, it := range t.Iterations {
+		sum += it.ApplyTime
+	}
+	return sum.Seconds() / float64(len(t.Iterations))
+}
+
+// TotalWall returns the total wall-clock time across iterations.
+func (t *RunTrace) TotalWall() time.Duration {
+	var sum time.Duration
+	for _, it := range t.Iterations {
+		sum += it.WallTime
+	}
+	return sum
+}
+
+// Truncate returns a copy of the trace limited to the first k iterations,
+// used by the paper's runtime-constrained ensembles (§5.6): algorithms with
+// constant, repetitive behavior can be shortened without changing their
+// behavior vector.
+func (t *RunTrace) Truncate(k int) *RunTrace {
+	if k >= len(t.Iterations) {
+		return t
+	}
+	return &RunTrace{
+		NumVertices: t.NumVertices,
+		NumEdges:    t.NumEdges,
+		Iterations:  t.Iterations[:k],
+		Converged:   false,
+	}
+}

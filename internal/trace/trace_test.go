@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *RunTrace {
+	return &RunTrace{
+		NumVertices: 100,
+		NumEdges:    1000,
+		Converged:   true,
+		Iterations: []IterationStats{
+			{Iteration: 0, Active: 100, Updates: 100, EdgeReads: 2000, Messages: 500,
+				ApplyTime: 2 * time.Millisecond, WallTime: 5 * time.Millisecond},
+			{Iteration: 1, Active: 50, Updates: 50, EdgeReads: 1000, Messages: 100,
+				ApplyTime: 1 * time.Millisecond, WallTime: 3 * time.Millisecond},
+			{Iteration: 2, Active: 10, Updates: 10, EdgeReads: 200, Messages: 0,
+				ApplyTime: 1 * time.Millisecond, WallTime: 2 * time.Millisecond},
+		},
+	}
+}
+
+func TestActiveFraction(t *testing.T) {
+	tr := sampleTrace()
+	af := tr.ActiveFraction()
+	want := []float64{1.0, 0.5, 0.1}
+	for i := range want {
+		if math.Abs(af[i]-want[i]) > 1e-12 {
+			t.Fatalf("active fraction = %v, want %v", af, want)
+		}
+	}
+}
+
+func TestMeans(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.MeanUpdates(); math.Abs(got-160.0/3) > 1e-9 {
+		t.Fatalf("MeanUpdates = %v", got)
+	}
+	if got := tr.MeanEdgeReads(); math.Abs(got-3200.0/3) > 1e-9 {
+		t.Fatalf("MeanEdgeReads = %v", got)
+	}
+	if got := tr.MeanMessages(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("MeanMessages = %v", got)
+	}
+	if got := tr.MeanApplySeconds(); math.Abs(got-0.004/3) > 1e-12 {
+		t.Fatalf("MeanApplySeconds = %v", got)
+	}
+	if got := tr.TotalWall(); got != 10*time.Millisecond {
+		t.Fatalf("TotalWall = %v", got)
+	}
+	if tr.NumIterations() != 3 {
+		t.Fatalf("NumIterations = %d", tr.NumIterations())
+	}
+}
+
+func TestEmptyTraceMeans(t *testing.T) {
+	tr := &RunTrace{NumVertices: 10, NumEdges: 10}
+	if tr.MeanUpdates() != 0 || tr.MeanEdgeReads() != 0 ||
+		tr.MeanMessages() != 0 || tr.MeanApplySeconds() != 0 {
+		t.Fatal("empty trace means not zero")
+	}
+	if len(tr.ActiveFraction()) != 0 {
+		t.Fatal("empty trace has active series")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tr := sampleTrace()
+	short := tr.Truncate(2)
+	if short.NumIterations() != 2 {
+		t.Fatalf("truncated length %d", short.NumIterations())
+	}
+	if short.Converged {
+		t.Fatal("truncated trace still marked converged")
+	}
+	// Truncating at or beyond the length returns the original.
+	if tr.Truncate(3) != tr || tr.Truncate(10) != tr {
+		t.Fatal("no-op truncate did not return the receiver")
+	}
+	// Original untouched.
+	if tr.NumIterations() != 3 || !tr.Converged {
+		t.Fatal("Truncate mutated the original")
+	}
+}
+
+// TestTruncateConstantBehaviorInvariant verifies the §5.6 premise: for a
+// run with constant per-iteration behavior, truncation does not change
+// the per-iteration means that define its behavior vector.
+func TestTruncateConstantBehaviorInvariant(t *testing.T) {
+	tr := &RunTrace{NumVertices: 10, NumEdges: 100}
+	for i := 0; i < 50; i++ {
+		tr.Iterations = append(tr.Iterations, IterationStats{
+			Iteration: i, Active: 10, Updates: 10, EdgeReads: 200, Messages: 200,
+			ApplyTime: time.Millisecond,
+		})
+	}
+	short := tr.Truncate(5)
+	if tr.MeanUpdates() != short.MeanUpdates() ||
+		tr.MeanEdgeReads() != short.MeanEdgeReads() ||
+		tr.MeanMessages() != short.MeanMessages() ||
+		tr.MeanApplySeconds() != short.MeanApplySeconds() {
+		t.Fatal("constant-behavior truncation changed the behavior vector")
+	}
+}

@@ -1,0 +1,105 @@
+package xstream
+
+import (
+	"math"
+
+	"gcbench/internal/graph"
+)
+
+// Edge-centric formulations of three of the study's algorithms, used to
+// verify the §3.3 conservation claim against the GAS implementations.
+
+// CCProgram is min-label propagation, edge-centric: active sources push
+// their label along out-edges; targets adopt smaller labels.
+type CCProgram struct{}
+
+// Init starts every vertex active with its own ID as label.
+func (CCProgram) Init(_ *graph.Graph, v uint32) (uint32, bool) { return v, true }
+
+// ScatterEdge pushes the source's label.
+func (CCProgram) ScatterEdge(_ Edge, src uint32) (uint32, bool) { return src, true }
+
+// Merge keeps the smaller label.
+func (CCProgram) Merge(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Apply adopts an improving label.
+func (CCProgram) Apply(_ uint32, s, u uint32) (uint32, bool) {
+	if u < s {
+		return u, true
+	}
+	return s, false
+}
+
+// SSSPProgram relaxes distances edge-centrically.
+type SSSPProgram struct {
+	Source uint32
+}
+
+// Init activates only the source.
+func (p SSSPProgram) Init(_ *graph.Graph, v uint32) (float64, bool) {
+	if v == p.Source {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+// ScatterEdge proposes a relaxed distance.
+func (p SSSPProgram) ScatterEdge(e Edge, src float64) (float64, bool) {
+	return src + e.Weight, true
+}
+
+// Merge keeps the shorter proposal.
+func (p SSSPProgram) Merge(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply adopts an improving distance.
+func (p SSSPProgram) Apply(_ uint32, s, u float64) (float64, bool) {
+	if u < s {
+		return u, true
+	}
+	return s, false
+}
+
+// PRState carries accumulated rank and the still-unpropagated delta.
+type PRState struct {
+	Rank  float64
+	Delta float64
+}
+
+// PRProgram is delta-PageRank, the standard edge-centric formulation:
+// updates carry rank *increments* instead of totals, so inactive
+// (converged) vertices need not re-send their contribution. It converges
+// to the same fixed point r = 0.15 + 0.85·M·r as the GAS pull version.
+type PRProgram struct {
+	G         *graph.Graph
+	Damping   float64
+	Tolerance float64
+}
+
+// Init seeds every vertex with the teleport mass as unpropagated delta.
+func (p PRProgram) Init(_ *graph.Graph, _ uint32) (PRState, bool) {
+	base := 1 - p.Damping
+	return PRState{Rank: base, Delta: base}, true
+}
+
+// ScatterEdge forwards the damped share of the source's delta.
+func (p PRProgram) ScatterEdge(e Edge, src PRState) (float64, bool) {
+	d := p.G.OutDegree(e.Src)
+	if d == 0 {
+		return 0, false
+	}
+	return p.Damping * src.Delta / float64(d), true
+}
+
+// Merge sums incoming increments.
+func (p PRProgram) Merge(a, b float64) float64 { return a + b }
+
+// Apply folds the increment and stays active while it is material.
+func (p PRProgram) Apply(_ uint32, s PRState, u float64) (PRState, bool) {
+	next := PRState{Rank: s.Rank + u, Delta: u}
+	return next, math.Abs(u) > p.Tolerance
+}

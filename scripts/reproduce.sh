@@ -1,0 +1,14 @@
+#!/bin/sh
+# Reproduce the full evaluation: sweep the Table 2 campaign, then
+# regenerate every table and figure into results/.
+# Usage: scripts/reproduce.sh [quick|standard|large]
+set -eu
+profile="${1:-standard}"
+mkdir -p results
+go build -o results/gcbench ./cmd/gcbench
+results/gcbench sweep -profile "$profile" -out "results/runs-$profile.json"
+results/gcbench figures -runs "results/runs-$profile.json" -fig all \
+  > "results/figures-$profile.txt"
+results/gcbench figures -runs "results/runs-$profile.json" -fig all -csv \
+  > "results/figures-$profile.csv"
+echo "wrote results/figures-$profile.txt and .csv"
