@@ -2,16 +2,21 @@
 //
 //	gcbench plan    [-profile standard]                 # print the Table 2 campaign
 //	gcbench sweep   [-profile standard] [-out runs.json] # execute it, save the corpus
+//	gcbench sweep   -resume runs.json.journal            # finish an interrupted campaign
+//	gcbench sweep   -timeout 90s -retries 2              # per-run budget + bounded retry
 //	gcbench run     -alg PR [-edges 100000] [-alpha 2.5] # one instrumented computation
 //	gcbench figures [-runs runs.json] [-fig all|N|tableN] # regenerate figures/tables
 //	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gcbench"
@@ -89,30 +94,92 @@ func cmdSweep(args []string) error {
 	parallel := fs.Int("parallel", 0, "concurrent runs (0 = cores/2)")
 	workers := fs.Int("workers", 0, "engine workers per run (0 = all cores)")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	timeout := fs.Duration("timeout", 0, "per-run wall-clock budget, e.g. 90s (0 = unlimited)")
+	retries := fs.Int("retries", 0, "extra attempts for a failed or timed-out run")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt)")
+	journalPath := fs.String("journal", "", "checkpoint journal path (default <out>.journal; 'none' disables)")
+	resume := fs.String("resume", "", "resume from this journal, skipping its completed runs")
+	faultRate := fs.Float64("faultrate", 0, "deterministic fault-injection rate in [0,1] (testing only)")
+	faultSeed := fs.Uint64("faultseed", 1, "seed for -faultrate injection")
 	fs.Parse(args)
 
 	specs, err := gcbench.BuildPlan(gcbench.Profile(*profile), *seed)
 	if err != nil {
 		return err
 	}
+
+	// The journal defaults next to the corpus. A fresh sweep truncates any
+	// stale journal; -resume keeps and reuses it.
+	jpath := *journalPath
+	if *resume != "" {
+		jpath = *resume
+	} else if jpath == "" {
+		jpath = *out + ".journal"
+	}
+	var journal *gcbench.Journal
+	if jpath != "none" {
+		if *resume == "" {
+			os.Remove(jpath)
+		} else if _, err := os.Stat(*resume); err != nil {
+			// A typo'd -resume path must not silently start from scratch.
+			return fmt.Errorf("resume journal: %w", err)
+		}
+		journal, err = gcbench.OpenJournal(jpath)
+		if err != nil {
+			return err
+		}
+		if *resume != "" && !*quiet {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %s\n", jpath, journal.Summary())
+		}
+	}
+
+	// Ctrl-C / SIGTERM cancels the campaign at the next iteration
+	// barriers; completed runs stay checkpointed for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	cfg := gcbench.SweepConfig{Parallel: *parallel, Workers: *workers}
+	cfg := gcbench.SweepConfig{
+		Parallel: *parallel, Workers: *workers,
+		Timeout: *timeout, Retries: *retries, RetryBackoff: *backoff,
+		Journal:     journal,
+		InjectFault: gcbench.FaultRate(*faultRate, *faultSeed),
+	}
 	if !*quiet {
 		cfg.Progress = func(done, total int, id string) {
 			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-40s", done, total, id)
 		}
 	}
-	runs, err := gcbench.Sweep(specs, cfg)
-	if err != nil {
-		return err
-	}
+	res, cerr := gcbench.SweepCampaign(ctx, specs, cfg)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
-	if err := gcbench.SaveRuns(*out, runs); err != nil {
-		return err
+	if len(res.Runs) > 0 {
+		if err := gcbench.SaveRuns(*out, res.Runs); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("swept %d runs in %s → %s\n", len(runs), time.Since(start).Round(time.Millisecond), *out)
+	fmt.Printf("swept %d/%d runs in %s → %s (%d ok, %d resumed, %d failed, %d cancelled)\n",
+		len(res.Runs), len(specs), time.Since(start).Round(time.Millisecond), *out,
+		res.Completed, res.Skipped, res.Failed, res.Cancelled)
+	for _, r := range res.Results {
+		if r.Status == gcbench.RunFailed || r.Status == gcbench.RunTimeout {
+			fmt.Printf("  %s %s after %d attempt(s) in %s: %s\n",
+				r.Status, r.Spec.ID(), r.Attempts, r.Duration.Round(time.Millisecond), r.Err)
+		}
+	}
+	if cerr != nil {
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "interrupted — resume with: gcbench sweep -profile %s -seed %d -out %s -resume %s\n",
+				*profile, *seed, *out, jpath)
+		}
+		return cerr
+	}
+	// The partial corpus is saved above; exit nonzero so scripted
+	// campaigns (reproduce.sh runs under set -e) notice the gap.
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d runs failed", res.Failed, len(specs))
+	}
 	return nil
 }
 

@@ -177,18 +177,53 @@ const (
 	ProfileLarge    = sweep.ProfileLarge
 )
 
-// SweepConfig controls campaign execution.
+// SweepConfig controls campaign execution, including the resilience
+// knobs (per-run Timeout, Retries, RetryBackoff, checkpoint Journal and
+// the InjectFault test hook).
 type SweepConfig = sweep.Config
 
-// Campaign construction, execution and persistence. ExportSuite writes a
-// designed ensemble's workload files (edge lists, UAI MRFs) so the suite
-// can be carried to any graph-processing system.
+// RunResult is the per-spec outcome of a resilient campaign.
+type RunResult = sweep.RunResult
+
+// CampaignResult aggregates a resilient campaign: per-spec results plus
+// the partial corpus of successful runs.
+type CampaignResult = sweep.CampaignResult
+
+// Journal is the campaign checkpoint (append-only JSONL, atomically
+// rewritten) that enables resume after interruption.
+type Journal = sweep.Journal
+
+// JournalEntry is one checkpointed run record.
+type JournalEntry = sweep.JournalEntry
+
+// RunStatus classifies a campaign run outcome.
+type RunStatus = behavior.RunStatus
+
+// Campaign run outcomes.
+const (
+	RunOK        = behavior.StatusOK
+	RunFailed    = behavior.StatusFailed
+	RunTimeout   = behavior.StatusTimeout
+	RunCancelled = behavior.StatusCancelled
+	RunSkipped   = behavior.StatusSkipped
+)
+
+// Campaign construction, execution and persistence. Sweep fails if any
+// run failed (after finishing the rest); SweepCampaign isolates per-run
+// failures and returns a partial corpus. ExportSuite writes a designed
+// ensemble's workload files (edge lists, UAI MRFs) so the suite can be
+// carried to any graph-processing system.
 var (
-	BuildPlan   = sweep.BuildPlan
-	Sweep       = sweep.Execute
-	SaveRuns    = sweep.SaveRunsFile
-	LoadRuns    = sweep.LoadRunsFile
-	ExportSuite = sweep.ExportSuite
+	BuildPlan     = sweep.BuildPlan
+	Sweep         = sweep.Execute
+	SweepContext  = sweep.ExecuteContext
+	SweepCampaign = sweep.ExecuteCampaign
+	OpenJournal   = sweep.OpenJournal
+	LoadJournal   = sweep.LoadJournal
+	FaultRate     = sweep.FaultRate
+	SaveRuns      = sweep.SaveRunsFile
+	LoadRuns      = sweep.LoadRunsFile
+	ExportSuite   = sweep.ExportSuite
 )
 
 // --- Ensembles (§5) ---

@@ -17,6 +17,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,10 +33,14 @@ type Options struct {
 	// algorithms converge on their own; NMF and SGD self-cap at 20
 	// iterations as in the paper (§3.3).
 	MaxIterations int
+	// Context, when non-nil, cancels the computation cooperatively at the
+	// next engine iteration barrier (used by sweep campaigns for per-run
+	// timeouts and campaign-wide cancellation).
+	Context context.Context
 }
 
 func (o Options) engineOptions() engine.Options {
-	return engine.Options{Workers: o.Workers, MaxIterations: o.MaxIterations}
+	return engine.Options{Workers: o.Workers, MaxIterations: o.MaxIterations, Context: o.Context}
 }
 
 // Output bundles a run's behavior trace with algorithm-specific summary

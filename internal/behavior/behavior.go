@@ -40,6 +40,29 @@ func Distance(a, b Vector) float64 {
 	return math.Sqrt(s)
 }
 
+// RunStatus classifies the outcome of one campaign run. Only StatusOK
+// runs carry a behavior vector; the other statuses exist so a resilient
+// campaign can account for every spec it was asked to execute.
+type RunStatus string
+
+// Campaign run outcomes.
+const (
+	// StatusOK is a successfully measured run.
+	StatusOK RunStatus = "ok"
+	// StatusFailed is a run whose every attempt returned an error or
+	// panicked.
+	StatusFailed RunStatus = "failed"
+	// StatusTimeout is a run whose last attempt exceeded its per-run
+	// wall-clock budget.
+	StatusTimeout RunStatus = "timeout"
+	// StatusCancelled is a run stopped (or never started) because the
+	// campaign context was cancelled.
+	StatusCancelled RunStatus = "cancelled"
+	// StatusSkipped is a run restored from a checkpoint journal instead of
+	// being re-executed (resume).
+	StatusSkipped RunStatus = "skipped"
+)
+
 // Run is one graph computation: the <algorithm, graph size, degree
 // distribution> tuple of §5.1 plus its measured raw behavior.
 type Run struct {

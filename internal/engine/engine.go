@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -140,6 +141,12 @@ type Options struct {
 	MaxIterations int
 	// Workers is the parallelism degree; 0 means GOMAXPROCS.
 	Workers int
+	// Context, when non-nil, is polled at every iteration barrier: a
+	// cancelled or expired context stops the run before its next
+	// iteration and Run returns an error wrapping ctx.Err(). Cancellation
+	// is cooperative — a run is never interrupted mid-phase, so the trace
+	// is always phase-consistent up to the barrier it stopped at.
+	Context context.Context
 }
 
 // DefaultMaxIterations bounds runs whose convergence criterion never
@@ -208,6 +215,13 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 		if active == 0 {
 			tr.Converged = true
 			break
+		}
+		if ctx := opt.Context; ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("engine: run stopped at iteration %d: %w", iter, ctx.Err())
+			default:
+			}
 		}
 		e.iter = iter
 		start := time.Now()
@@ -296,13 +310,23 @@ func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	// A vertex program panicking inside a worker goroutine would crash the
+	// whole process; capture the first panic and re-raise it on the calling
+	// goroutine so campaign-level recover() can isolate the failed run.
+	type capturedPanic struct{ value any }
+	var panicked atomic.Pointer[capturedPanic]
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, &capturedPanic{p})
+				}
+			}()
 			for {
 				c := cursor.Add(1) - 1
-				if c >= numChunks {
+				if c >= numChunks || panicked.Load() != nil {
 					return
 				}
 				lo := uint32(c * chunkSize)
@@ -315,6 +339,9 @@ func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
 		}(w)
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.value)
+	}
 }
 
 // parallelOverActive runs fn(worker, v) for every active vertex.

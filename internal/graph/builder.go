@@ -75,6 +75,11 @@ func (b *Builder) Build() (*Graph, error) {
 				i, b.src[i], b.dst[i], b.n)
 		}
 	}
+	// A weighted graph stays weighted even with zero surviving edges
+	// (Graph.Weighted derives from a non-nil weight slice).
+	if b.weighted && b.w == nil {
+		b.w = []float64{}
+	}
 
 	// Filter self-loops up front.
 	if b.dropSelfLoops {

@@ -1,12 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sync"
+	"time"
 
 	"gcbench/internal/algorithms"
 	"gcbench/internal/behavior"
@@ -15,6 +16,13 @@ import (
 )
 
 // Config controls campaign execution.
+//
+// Two parallelism knobs compose: Parallel bounds how many *runs* execute
+// concurrently, while Workers is the engine parallelism *within* each
+// run. Total engine goroutines peak near Parallel × Workers, so a
+// throughput-oriented campaign uses Parallel = cores with Workers = 1,
+// whereas faithful per-run WORK timing wants Parallel = 1 with
+// Workers = cores; the defaults split the difference.
 type Config struct {
 	// Workers is the engine parallelism within one run (0 = GOMAXPROCS).
 	Workers int
@@ -22,49 +30,53 @@ type Config struct {
 	// min 1). Runs are independent; graph construction is cached and
 	// shared.
 	Parallel int
-	// Progress, when non-nil, is called after each completed run.
+	// Progress, when non-nil, is called after every finished spec —
+	// succeeded, failed, timed out, cancelled, or skipped via resume —
+	// so done reaches total even on an all-failure campaign. Calls are
+	// serialized; id is the finished spec's ID.
 	Progress func(done, total int, id string)
+
+	// Timeout is the per-attempt wall-clock budget of one run (0 = no
+	// limit). Enforced cooperatively at engine iteration barriers.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed or timed-out run gets
+	// before it is recorded as failed (0 = single attempt).
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// subsequent attempt (default 100ms when Retries > 0).
+	RetryBackoff time.Duration
+	// Journal, when non-nil, receives a checkpoint record after every
+	// completed or failed run, and its previously completed entries are
+	// restored instead of re-executed (resume).
+	Journal *Journal
+	// InjectFault, when non-nil, is consulted before every attempt; a
+	// non-nil error fails that attempt. Deterministic fault injection for
+	// testing isolation, retry and resume behavior (see FaultRate).
+	InjectFault func(Spec) error
 }
 
 // Execute runs every spec and returns the behavior corpus in spec order.
+// It is ExecuteContext with a background context.
 func Execute(specs []Spec, cfg Config) ([]*behavior.Run, error) {
-	par := cfg.Parallel
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0) / 2
-		if par < 1 {
-			par = 1
-		}
-	}
-	runs := make([]*behavior.Run, len(specs))
-	errs := make([]error, len(specs))
-	cache := &graphCache{}
+	return ExecuteContext(context.Background(), specs, cfg)
+}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	var mu sync.Mutex
-	done := 0
-	for i := range specs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			runs[i], errs[i] = RunSpec(specs[i], cfg.Workers, cache)
-			if cfg.Progress != nil {
-				mu.Lock()
-				done++
-				cfg.Progress(done, len(specs), specs[i].ID())
-				mu.Unlock()
-			}
-		}(i)
+// ExecuteContext runs every spec and returns the behavior corpus in spec
+// order. Unlike ExecuteCampaign it fails the whole sweep if any run
+// failed — but only after every other run has completed (and, when
+// cfg.Journal is set, been checkpointed), so a retry of the same
+// campaign can resume rather than start over.
+func ExecuteContext(ctx context.Context, specs []Spec, cfg Config) ([]*behavior.Run, error) {
+	res, err := ExecuteCampaign(ctx, specs, cfg)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep: run %s: %w", specs[i].ID(), err)
-		}
+	if res.Failed > 0 {
+		f := res.FirstFailure()
+		return nil, fmt.Errorf("sweep: %d/%d runs failed; first: run %s (attempts=%d): %s",
+			res.Failed, len(specs), f.Spec.ID(), f.Attempts, f.Err)
 	}
-	return runs, nil
+	return res.Runs, nil
 }
 
 // graphCache shares generated graphs between algorithms in the same
@@ -105,10 +117,20 @@ type cfGraph struct {
 // RunSpec executes one graph computation and converts its trace into a
 // behavior run. cache may be nil.
 func RunSpec(spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
+	return RunSpecContext(context.Background(), spec, workers, cache)
+}
+
+// RunSpecContext is RunSpec under a context: a cancelled or expired ctx
+// stops the computation at its next engine iteration barrier and returns
+// an error wrapping ctx.Err().
+func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
 	if cache == nil {
 		cache = &graphCache{}
 	}
-	opt := algorithms.Options{Workers: workers}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opt := algorithms.Options{Workers: workers, Context: ctx}
 	var out *algorithms.Output
 	var err error
 

@@ -5,6 +5,20 @@
 // The paper's absolute scales (nedges up to 10^9 on a 48-node cluster)
 // are mapped to laptop-scale profiles; per-edge normalization makes the
 // behavior vectors scale-invariant to first order (see DESIGN.md §3).
+//
+// # Campaign execution
+//
+// ExecuteCampaign is the resilient entry point: per-run wall-clock
+// timeouts, bounded retry with exponential backoff, panic isolation, and
+// an optional checkpoint Journal that lets an interrupted campaign resume
+// with zero re-execution of completed runs. Execute/ExecuteContext wrap
+// it with fail-if-anything-failed semantics for callers that need a
+// complete corpus.
+//
+// Two parallelism knobs compose (see Config): Parallel bounds concurrent
+// *runs*, Workers bounds engine goroutines *within* each run, so peak
+// engine parallelism is roughly Parallel × Workers. Graph construction is
+// cached per structure and shared between concurrent runs.
 package sweep
 
 import (

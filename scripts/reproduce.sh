@@ -1,14 +1,29 @@
 #!/bin/sh
 # Reproduce the full evaluation: sweep the Table 2 campaign, then
 # regenerate every table and figure into results/.
+#
+# The sweep checkpoints every completed run into
+# results/runs-<profile>.json.journal; if a previous invocation was
+# interrupted (Ctrl-C, timeout, crash), re-running this script resumes
+# from that journal and executes only the missing runs. Delete the
+# journal to force a from-scratch sweep.
 # Usage: scripts/reproduce.sh [quick|standard|large]
 set -eu
 profile="${1:-standard}"
 mkdir -p results
 go build -o results/gcbench ./cmd/gcbench
-results/gcbench sweep -profile "$profile" -out "results/runs-$profile.json"
-results/gcbench figures -runs "results/runs-$profile.json" -fig all \
+out="results/runs-$profile.json"
+journal="$out.journal"
+if [ -f "$journal" ]; then
+  echo "found $journal — resuming interrupted campaign"
+  results/gcbench sweep -profile "$profile" -out "$out" \
+    -resume "$journal" -timeout 30m -retries 2
+else
+  results/gcbench sweep -profile "$profile" -out "$out" \
+    -timeout 30m -retries 2
+fi
+results/gcbench figures -runs "$out" -fig all \
   > "results/figures-$profile.txt"
-results/gcbench figures -runs "results/runs-$profile.json" -fig all -csv \
+results/gcbench figures -runs "$out" -fig all -csv \
   > "results/figures-$profile.csv"
 echo "wrote results/figures-$profile.txt and .csv"
