@@ -4,7 +4,9 @@
 //	gcbench sweep   [-profile standard] [-out runs.json] # execute it, save the corpus
 //	gcbench sweep   -resume runs.json.journal            # finish an interrupted campaign
 //	gcbench sweep   -timeout 90s -retries 2              # per-run budget + bounded retry
+//	gcbench sweep   -listen :9090                        # live /metrics /statusz /healthz /debug/pprof
 //	gcbench run     -alg PR [-edges 100000] [-alpha 2.5] # one instrumented computation
+//	gcbench run     -alg PR -tracefile pr.trace.json     # + Chrome trace-event phase spans
 //	gcbench figures [-runs runs.json] [-fig all|N|tableN] # regenerate figures/tables
 //	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
 package main
@@ -13,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -93,7 +96,8 @@ func cmdSweep(args []string) error {
 	out := fs.String("out", "runs.json", "corpus output path")
 	parallel := fs.Int("parallel", 0, "concurrent runs (0 = cores/2)")
 	workers := fs.Int("workers", 0, "engine workers per run (0 = all cores)")
-	quiet := fs.Bool("quiet", false, "suppress progress output")
+	vb := verbosityFlags(fs)
+	listen := fs.String("listen", "", "serve /metrics /statusz /healthz /debug/pprof on this addr (e.g. :9090) while sweeping")
 	timeout := fs.Duration("timeout", 0, "per-run wall-clock budget, e.g. 90s (0 = unlimited)")
 	retries := fs.Int("retries", 0, "extra attempts for a failed or timed-out run")
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt)")
@@ -102,6 +106,8 @@ func cmdSweep(args []string) error {
 	faultRate := fs.Float64("faultrate", 0, "deterministic fault-injection rate in [0,1] (testing only)")
 	faultSeed := fs.Uint64("faultseed", 1, "seed for -faultrate injection")
 	fs.Parse(args)
+	vb.setup()
+	quiet := vb.quiet
 
 	specs, err := gcbench.BuildPlan(gcbench.Profile(*profile), *seed)
 	if err != nil {
@@ -128,8 +134,8 @@ func cmdSweep(args []string) error {
 		if err != nil {
 			return err
 		}
-		if *resume != "" && !*quiet {
-			fmt.Fprintf(os.Stderr, "resuming from %s: %s\n", jpath, journal.Summary())
+		if *resume != "" {
+			slog.Info("resuming campaign", "journal", jpath, "checkpointed", journal.Summary())
 		}
 	}
 
@@ -145,13 +151,37 @@ func cmdSweep(args []string) error {
 		Journal:     journal,
 		InjectFault: gcbench.FaultRate(*faultRate, *faultSeed),
 	}
-	if !*quiet {
+
+	// -listen attaches the observability surface to this campaign: the
+	// tracker feeds /statusz, the default metric registry feeds /metrics.
+	if *listen != "" {
+		tracker := gcbench.NewCampaignTracker()
+		cfg.Tracker = tracker
+		srv, err := gcbench.StartObsServer(*listen, gcbench.ObsServerOptions{
+			Status: func() any { return tracker.Snapshot() },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		slog.Info("observability server listening", "url", srv.URL(),
+			"endpoints", "/metrics /statusz /healthz /debug/pprof/")
+	}
+
+	switch {
+	case *vb.verbose:
+		// Structured per-run events instead of the carriage-return bar,
+		// which interleaves badly with log lines.
+		cfg.Progress = func(done, total int, id string) {
+			slog.Debug("run finished", "done", done, "total", total, "id", id)
+		}
+	case !*quiet:
 		cfg.Progress = func(done, total int, id string) {
 			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-40s", done, total, id)
 		}
 	}
 	res, cerr := gcbench.SweepCampaign(ctx, specs, cfg)
-	if !*quiet {
+	if !*quiet && !*vb.verbose {
 		fmt.Fprintln(os.Stderr)
 	}
 	if len(res.Runs) > 0 {
@@ -170,8 +200,9 @@ func cmdSweep(args []string) error {
 	}
 	if cerr != nil {
 		if journal != nil {
-			fmt.Fprintf(os.Stderr, "interrupted — resume with: gcbench sweep -profile %s -seed %d -out %s -resume %s\n",
-				*profile, *seed, *out, jpath)
+			slog.Warn("campaign interrupted — completed runs are checkpointed",
+				"resume", fmt.Sprintf("gcbench sweep -profile %s -seed %d -out %s -resume %s",
+					*profile, *seed, *out, jpath))
 		}
 		return cerr
 	}
@@ -190,7 +221,10 @@ func cmdRun(args []string) error {
 	alpha := fs.Float64("alpha", 2.5, "power-law exponent")
 	rows := fs.Int("rows", 1000, "matrix rows / grid side (Jacobi, LBP)")
 	seed := fs.Uint64("seed", 1, "graph seed")
+	tracefile := fs.String("tracefile", "", "write the run's phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+	vb := verbosityFlags(fs)
 	fs.Parse(args)
+	vb.setup()
 
 	name, err := gcbench.ParseAlgorithm(*alg)
 	if err != nil {
@@ -209,11 +243,24 @@ func cmdRun(args []string) error {
 		spec.Alpha = *alpha
 		spec.SizeLabel = fmt.Sprint(*edges)
 	}
-	runs, err := gcbench.Sweep([]gcbench.Spec{spec}, gcbench.SweepConfig{})
+	r, tr, err := gcbench.RunSpecTrace(context.Background(), spec, 0)
 	if err != nil {
 		return err
 	}
-	r := runs[0]
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			return err
+		}
+		if err := gcbench.WriteChromeTrace(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		slog.Info("wrote Chrome trace", "path", *tracefile, "iterations", tr.NumIterations())
+	}
 	fmt.Printf("run %s\n", r.ID())
 	fmt.Printf("  edges (realized): %d\n", r.NumEdges)
 	fmt.Printf("  iterations:       %d (converged=%t)\n", r.Iterations, r.Converged)

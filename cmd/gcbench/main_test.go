@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -51,6 +53,45 @@ func TestCmdRun(t *testing.T) {
 	}
 	if err := cmdRun([]string{"-alg", "nope"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestCmdRunTracefile verifies the CLI trace export: the file must be a
+// valid Chrome trace-event JSON array with one span per iteration.
+func TestCmdRunTracefile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cc.trace.json")
+	if err := cmdRun([]string{"-alg", "CC", "-edges", "300", "-tracefile", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	iterations := 0
+	for _, e := range events {
+		if e["cat"] == "iteration" {
+			iterations++
+		}
+	}
+	if iterations == 0 {
+		t.Fatalf("trace file has no iteration spans (%d events)", len(events))
+	}
+}
+
+// TestCmdSweepListenFlag verifies the -listen flag is plumbed: an
+// unbindable address must fail the command before any run executes.
+// (Serving /metrics and /statusz during a live campaign is covered by
+// the race-enabled test in internal/sweep.)
+func TestCmdSweepListenFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "runs.json")
+	err := cmdSweep([]string{"-profile", "quick", "-out", out, "-journal", "none",
+		"-quiet", "-listen", "256.256.256.256:0"})
+	if err == nil {
+		t.Fatal("unbindable -listen address accepted")
 	}
 }
 

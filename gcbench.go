@@ -29,9 +29,11 @@ import (
 	"gcbench/internal/ensemble"
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
+	"gcbench/internal/obs"
 	"gcbench/internal/predict"
 	"gcbench/internal/report"
 	"gcbench/internal/sweep"
+	"gcbench/internal/trace"
 )
 
 // --- Graphs ---
@@ -224,6 +226,52 @@ var (
 	SaveRuns      = sweep.SaveRunsFile
 	LoadRuns      = sweep.LoadRunsFile
 	ExportSuite   = sweep.ExportSuite
+)
+
+// --- Observability ---
+
+// RunTrace is the complete per-iteration record of one computation,
+// including the engine's phase spans.
+type RunTrace = trace.RunTrace
+
+// TraceIterationStats is one iteration's counters and phase spans.
+type TraceIterationStats = trace.IterationStats
+
+// TraceWorkerSpan attributes per-phase busy time to one engine worker.
+type TraceWorkerSpan = trace.WorkerSpan
+
+// MetricsRegistry is a dependency-free metric registry with Prometheus
+// text-format exposition; Metrics() returns the process-wide default
+// the engine and sweep runner publish into.
+type MetricsRegistry = obs.Registry
+
+// ObsServer is the opt-in observability HTTP server (/metrics,
+// /statusz, /healthz, /debug/pprof).
+type ObsServer = obs.Server
+
+// ObsServerOptions configures StartObsServer.
+type ObsServerOptions = obs.ServerOptions
+
+// CampaignTracker observes a sweep campaign live; its Snapshot is the
+// /statusz payload. Attach one via SweepConfig.Tracker.
+type CampaignTracker = sweep.Tracker
+
+// CampaignStatus is a point-in-time snapshot of a tracked campaign.
+type CampaignStatus = sweep.CampaignStatus
+
+// RunProvenance documents where and when a campaign run executed.
+type RunProvenance = sweep.Provenance
+
+// Observability entry points. RunSpecTrace is the single-run engine
+// entry that also returns the full trace for WriteChromeTrace.
+var (
+	Metrics            = obs.Default
+	NewMetricsRegistry = obs.NewRegistry
+	StartObsServer     = obs.StartServer
+	WriteChromeTrace   = obs.WriteChromeTrace
+	PublishExpvar      = obs.PublishExpvar
+	NewCampaignTracker = sweep.NewTracker
+	RunSpecTrace       = sweep.RunSpecTrace
 )
 
 // --- Ensembles (§5) ---

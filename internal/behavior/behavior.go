@@ -102,7 +102,7 @@ func (r *Run) ID() string {
 // FromTrace extracts the raw per-edge behavior vector from a run trace.
 func FromTrace(t *trace.RunTrace) Vector {
 	edges := float64(t.NumEdges)
-	if edges == 0 {
+	if edges <= 0 {
 		return Vector{}
 	}
 	return Vector{

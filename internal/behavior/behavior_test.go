@@ -54,6 +54,34 @@ func TestFromTrace(t *testing.T) {
 	}
 }
 
+// TestFromTraceIgnoresPhaseSpans asserts the observability contract of
+// the engine's span instrumentation: the behavior vector — WORK
+// included — is a function of the counters and ApplyTime only, so
+// populating the phase-span fields must not move any dimension.
+func TestFromTraceIgnoresPhaseSpans(t *testing.T) {
+	bare := &trace.RunTrace{
+		NumVertices: 10,
+		NumEdges:    100,
+		Iterations: []trace.IterationStats{
+			{Active: 10, Updates: 10, EdgeReads: 200, Messages: 50, ApplyTime: time.Millisecond},
+			{Active: 5, Updates: 6, EdgeReads: 100, Messages: 30, ApplyTime: 3 * time.Millisecond},
+		},
+	}
+	spanned := &trace.RunTrace{NumVertices: 10, NumEdges: 100}
+	for _, it := range bare.Iterations {
+		it.WallTime = 10 * time.Millisecond
+		it.GatherWall = 4 * time.Millisecond
+		it.ApplyWall = 3 * time.Millisecond
+		it.ScatterWall = 2 * time.Millisecond
+		it.BarrierTime = time.Millisecond
+		it.WorkerSpans = []trace.WorkerSpan{{Worker: 0, Gather: time.Millisecond, Apply: it.ApplyTime, Scatter: time.Millisecond}}
+		spanned.Iterations = append(spanned.Iterations, it)
+	}
+	if a, b := FromTrace(bare), FromTrace(spanned); a != b {
+		t.Fatalf("phase spans changed the behavior vector: %v vs %v", a, b)
+	}
+}
+
 func TestNewSpaceNormalizes(t *testing.T) {
 	runs := []*Run{
 		runWith("A", Vector{2, 4, 8, 1}),

@@ -27,7 +27,23 @@ import (
 	"time"
 
 	"gcbench/internal/graph"
+	"gcbench/internal/obs"
 	"gcbench/internal/trace"
+)
+
+// Engine metrics on the process-wide obs registry, updated once per
+// iteration (a handful of atomic adds — far below the <5% phase-span
+// overhead budget; see BenchmarkEngineBFS).
+var (
+	metricRuns       = obs.Default().Counter("gcbench_engine_runs_total", "Graph computations started.")
+	metricIterations = obs.Default().Counter("gcbench_engine_iterations_total", "GAS iterations executed.")
+	metricUpdates    = obs.Default().Counter("gcbench_engine_updates_total", "Vertex updates (apply calls, the UPDT numerator).")
+	metricEdgeReads  = obs.Default().Counter("gcbench_engine_edge_reads_total", "Gather edge reads (the EREAD numerator).")
+	metricMessages   = obs.Default().Counter("gcbench_engine_messages_total", "Scatter activation messages (the MSG numerator).")
+	metricGatherSec  = obs.Default().Counter("gcbench_engine_gather_seconds_total", "Wall-clock seconds in gather phases.")
+	metricApplySec   = obs.Default().Counter("gcbench_engine_apply_seconds_total", "Wall-clock seconds in apply phases.")
+	metricScatterSec = obs.Default().Counter("gcbench_engine_scatter_seconds_total", "Wall-clock seconds in scatter phases.")
+	metricBarrierSec = obs.Default().Counter("gcbench_engine_barrier_seconds_total", "Wall-clock seconds outside the three phases (hooks, frontier bookkeeping).")
 )
 
 // Direction selects which adjacent edges a phase visits.
@@ -209,6 +225,7 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 		NumVertices: n,
 		NumEdges:    g.NumEdges(),
 	}
+	metricRuns.Inc()
 
 	for iter := 0; iter < maxIter; iter++ {
 		active := e.cur.Count()
@@ -230,24 +247,55 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 			pre.PreIteration(ctl)
 		}
 
-		edgeReads := e.gatherPhase()
-		updates, applyTime := e.applyPhase()
-		messages := e.scatterPhase()
+		gStart := time.Now()
+		edgeReads, gatherBusy := e.gatherPhase()
+		gatherWall := time.Since(gStart)
+		aStart := time.Now()
+		updates, applyTime, applyBusy := e.applyPhase()
+		applyWall := time.Since(aStart)
+		sStart := time.Now()
+		messages, scatterBusy := e.scatterPhase()
+		scatterWall := time.Since(sStart)
 
 		halt := false
 		if post != nil {
 			halt = post.PostIteration(ctl)
 		}
 
+		wall := time.Since(start)
+		spans := make([]trace.WorkerSpan, e.workers)
+		for w := 0; w < e.workers; w++ {
+			spans[w] = trace.WorkerSpan{Worker: w, Apply: applyBusy[w]}
+			if gatherBusy != nil {
+				spans[w].Gather = gatherBusy[w]
+			}
+			if scatterBusy != nil {
+				spans[w].Scatter = scatterBusy[w]
+			}
+		}
 		tr.Iterations = append(tr.Iterations, trace.IterationStats{
-			Iteration: iter,
-			Active:    active,
-			Updates:   updates,
-			EdgeReads: edgeReads,
-			Messages:  messages,
-			ApplyTime: applyTime,
-			WallTime:  time.Since(start),
+			Iteration:   iter,
+			Active:      active,
+			Updates:     updates,
+			EdgeReads:   edgeReads,
+			Messages:    messages,
+			ApplyTime:   applyTime,
+			WallTime:    wall,
+			GatherWall:  gatherWall,
+			ApplyWall:   applyWall,
+			ScatterWall: scatterWall,
+			BarrierTime: wall - gatherWall - applyWall - scatterWall,
+			WorkerSpans: spans,
 		})
+
+		metricIterations.Inc()
+		metricUpdates.Add(float64(updates))
+		metricEdgeReads.Add(float64(edgeReads))
+		metricMessages.Add(float64(messages))
+		metricGatherSec.Add(gatherWall.Seconds())
+		metricApplySec.Add(applyWall.Seconds())
+		metricScatterSec.Add(scatterWall.Seconds())
+		metricBarrierSec.Add((wall - gatherWall - applyWall - scatterWall).Seconds())
 
 		// Swap frontiers.
 		e.cur, e.next = e.next, e.cur
@@ -352,62 +400,74 @@ func (e *engine[S, A]) parallelOverActive(fn func(worker int, v uint32)) {
 }
 
 // gatherPhase runs Gather+Sum per active vertex and stores accumulators.
-// Returns the total edge reads.
-func (e *engine[S, A]) gatherPhase() int64 {
+// Returns the total edge reads and per-worker busy time (chunk-granular,
+// like applyPhase, so the span instrumentation never pays a clock read
+// per vertex).
+func (e *engine[S, A]) gatherPhase() (int64, []time.Duration) {
+	busy := make([]time.Duration, e.workers)
 	if e.gatherD == None {
 		// Still reset hasAcc for active vertices so Apply sees hasAcc=false.
 		e.parallelOverActive(func(_ int, v uint32) { e.hasAcc[v] = false })
-		return 0
+		return 0, busy
 	}
 	reads := make([]int64, e.workers)
-	e.parallelOverActive(func(worker int, v uint32) {
-		var acc A
-		has := false
-		self := e.state[v]
-		r := int64(0)
-		if e.gatherD == Out || e.gatherD == Both {
-			lo, hi := e.g.OutArcRange(v)
-			for a := lo; a < hi; a++ {
-				arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
-				contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
-				if has {
-					acc = e.p.Sum(acc, contrib)
-				} else {
-					acc, has = contrib, true
+	e.parallelChunks(func(worker int, lo, hi uint32) {
+		t0 := time.Now()
+		visited := 0
+		e.cur.Range(lo, hi, func(v uint32) {
+			var acc A
+			has := false
+			self := e.state[v]
+			r := int64(0)
+			if e.gatherD == Out || e.gatherD == Both {
+				lo, hi := e.g.OutArcRange(v)
+				for a := lo; a < hi; a++ {
+					arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
+					contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
+					if has {
+						acc = e.p.Sum(acc, contrib)
+					} else {
+						acc, has = contrib, true
+					}
+					r++
 				}
-				r++
 			}
-		}
-		if e.gatherD == In || e.gatherD == Both {
-			lo, hi := e.g.InArcRange(v)
-			for a := lo; a < hi; a++ {
-				out := e.g.InArcToOutArc(a)
-				arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
-				contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
-				if has {
-					acc = e.p.Sum(acc, contrib)
-				} else {
-					acc, has = contrib, true
+			if e.gatherD == In || e.gatherD == Both {
+				lo, hi := e.g.InArcRange(v)
+				for a := lo; a < hi; a++ {
+					out := e.g.InArcToOutArc(a)
+					arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
+					contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
+					if has {
+						acc = e.p.Sum(acc, contrib)
+					} else {
+						acc, has = contrib, true
+					}
+					r++
 				}
-				r++
 			}
+			e.acc[v] = acc
+			e.hasAcc[v] = has
+			reads[worker] += r
+			visited++
+		})
+		if visited > 0 {
+			busy[worker] += time.Since(t0)
 		}
-		e.acc[v] = acc
-		e.hasAcc[v] = has
-		reads[worker] += r
 	})
 	var total int64
 	for _, r := range reads {
 		total += r
 	}
-	return total
+	return total, busy
 }
 
 // applyPhase runs Apply per active vertex. Each worker times its chunk
 // loops so WORK approximates CPU time in the user apply function without
-// paying a clock read per vertex. Returns the update count and summed
-// apply time.
-func (e *engine[S, A]) applyPhase() (int64, time.Duration) {
+// paying a clock read per vertex. Returns the update count, summed apply
+// time (the WORK numerator — per-worker busy, not phase wall), and the
+// per-worker busy breakdown.
+func (e *engine[S, A]) applyPhase() (int64, time.Duration, []time.Duration) {
 	updates := make([]int64, e.workers)
 	times := make([]time.Duration, e.workers)
 	e.parallelChunks(func(worker int, lo, hi uint32) {
@@ -428,45 +488,54 @@ func (e *engine[S, A]) applyPhase() (int64, time.Duration) {
 		u += updates[w]
 		d += times[w]
 	}
-	return u, d
+	return u, d, times
 }
 
 // scatterPhase runs Scatter per active vertex and signals neighbors.
-// Returns the message count.
-func (e *engine[S, A]) scatterPhase() int64 {
+// Returns the message count and per-worker busy time.
+func (e *engine[S, A]) scatterPhase() (int64, []time.Duration) {
+	busy := make([]time.Duration, e.workers)
 	if e.scatterD == None {
-		return 0
+		return 0, busy
 	}
 	msgs := make([]int64, e.workers)
-	e.parallelOverActive(func(worker int, v uint32) {
-		self := e.state[v]
-		m := int64(0)
-		if e.scatterD == Out || e.scatterD == Both {
-			lo, hi := e.g.OutArcRange(v)
-			for a := lo; a < hi; a++ {
-				arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
-				if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
-					e.next.Set(arc.Other)
-					m++
+	e.parallelChunks(func(worker int, lo, hi uint32) {
+		t0 := time.Now()
+		visited := 0
+		e.cur.Range(lo, hi, func(v uint32) {
+			self := e.state[v]
+			m := int64(0)
+			if e.scatterD == Out || e.scatterD == Both {
+				lo, hi := e.g.OutArcRange(v)
+				for a := lo; a < hi; a++ {
+					arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
+					if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
+						e.next.Set(arc.Other)
+						m++
+					}
 				}
 			}
-		}
-		if e.scatterD == In || e.scatterD == Both {
-			lo, hi := e.g.InArcRange(v)
-			for a := lo; a < hi; a++ {
-				out := e.g.InArcToOutArc(a)
-				arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
-				if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
-					e.next.Set(arc.Other)
-					m++
+			if e.scatterD == In || e.scatterD == Both {
+				lo, hi := e.g.InArcRange(v)
+				for a := lo; a < hi; a++ {
+					out := e.g.InArcToOutArc(a)
+					arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
+					if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
+						e.next.Set(arc.Other)
+						m++
+					}
 				}
 			}
+			msgs[worker] += m
+			visited++
+		})
+		if visited > 0 {
+			busy[worker] += time.Since(t0)
 		}
-		msgs[worker] += m
 	})
 	var total int64
 	for _, m := range msgs {
 		total += m
 	}
-	return total
+	return total, busy
 }

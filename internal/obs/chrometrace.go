@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"gcbench/internal/trace"
+)
+
+// traceEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// consumed by chrome://tracing and Perfetto). Field order is fixed by
+// the struct so exports are byte-stable for a given trace.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Thread ids in the exported trace: tid 0 carries iteration spans with
+// nested phase spans; worker w's busy spans go to tid workerTidBase+w.
+const workerTidBase = 10
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports a run's per-iteration phase spans as a Chrome
+// trace-event JSON array, openable in chrome://tracing or Perfetto.
+//
+// Timestamps are synthesized deterministically from the recorded
+// durations (iteration k starts at the cumulative wall time of
+// iterations 0..k-1, phases run back to back within it), so two exports
+// of the same trace are byte-identical — absolute clock readings never
+// enter the file. Worker busy spans are anchored at their phase's start;
+// their duration is the worker's measured busy time, not its scheduling
+// window.
+func WriteChromeTrace(w io.Writer, tr *trace.RunTrace) error {
+	if tr == nil {
+		return fmt.Errorf("obs: nil trace")
+	}
+	events := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "gcbench run"}},
+		{Name: "thread_name", Ph: "M", Pid: 1, Tid: 0, Args: map[string]any{"name": "engine phases"}},
+	}
+	workers := 0
+	for _, it := range tr.Iterations {
+		if len(it.WorkerSpans) > workers {
+			workers = len(it.WorkerSpans)
+		}
+	}
+	for wkr := 0; wkr < workers; wkr++ {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: workerTidBase + wkr,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", wkr)},
+		})
+	}
+
+	var cursor time.Duration
+	for _, it := range tr.Iterations {
+		itStart := cursor
+		events = append(events, traceEvent{
+			Name: fmt.Sprintf("iteration %d", it.Iteration), Cat: "iteration", Ph: "X",
+			Ts: us(itStart), Dur: us(it.WallTime), Pid: 1, Tid: 0,
+			Args: map[string]any{
+				"active":    it.Active,
+				"updates":   it.Updates,
+				"edgeReads": it.EdgeReads,
+				"messages":  it.Messages,
+			},
+		})
+		phases := []struct {
+			name string
+			dur  time.Duration
+			busy func(ws trace.WorkerSpan) time.Duration
+		}{
+			{"gather", it.GatherWall, func(ws trace.WorkerSpan) time.Duration { return ws.Gather }},
+			{"apply", it.ApplyWall, func(ws trace.WorkerSpan) time.Duration { return ws.Apply }},
+			{"scatter", it.ScatterWall, func(ws trace.WorkerSpan) time.Duration { return ws.Scatter }},
+			{"barrier", it.BarrierTime, nil},
+		}
+		t := itStart
+		for _, ph := range phases {
+			if ph.dur <= 0 {
+				continue
+			}
+			events = append(events, traceEvent{
+				Name: ph.name, Cat: "phase", Ph: "X",
+				Ts: us(t), Dur: us(ph.dur), Pid: 1, Tid: 0,
+			})
+			if ph.busy != nil {
+				for _, ws := range it.WorkerSpans {
+					if busy := ph.busy(ws); busy > 0 {
+						events = append(events, traceEvent{
+							Name: ph.name, Cat: "worker", Ph: "X",
+							Ts: us(t), Dur: us(busy), Pid: 1, Tid: workerTidBase + ws.Worker,
+						})
+					}
+				}
+			}
+			t += ph.dur
+		}
+		cursor = itStart + it.WallTime
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}

@@ -1,0 +1,296 @@
+// Package obs is gcbench's observability layer: a dependency-free
+// metrics registry with Prometheus text-format exposition and expvar
+// bridging, an opt-in HTTP server (/metrics, /statusz, /healthz,
+// /debug/pprof), and Chrome trace-event export of engine phase spans.
+//
+// The registry deliberately implements the minimal subset of the
+// Prometheus data model the benchmark harness needs — label-free
+// counters, gauges and fixed-bucket histograms — so the engine hot path
+// pays one atomic add per metric update and the module keeps zero
+// third-party dependencies.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 metric. The zero value
+// is unusable; obtain counters from a Registry.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by d. Negative deltas are ignored —
+// counters are monotone by contract, and a monotone scrape is what the
+// HTTP-surface tests assert.
+func (c *Counter) Add(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (negative d decreases it).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets
+// (cumulative on exposition, Prometheus-style) and tracks their sum.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf implied
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	total   atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metricKind tags a registered metric for TYPE exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// format. All methods are safe for concurrent use; metric constructors
+// are get-or-create, so independent packages can reference the same
+// metric by name.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// defaultRegistry is the process-wide registry the engine and sweep
+// runner publish into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it with
+// the given help text if absent.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it if absent.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given upper-bound buckets if absent. bounds must be sorted
+// ascending; a +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+		}
+		return m.h
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, h: h}
+	return h
+}
+
+// formatValue renders a float the way Prometheus clients do: integral
+// values without an exponent, the rest in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so scrapes
+// are stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", m.name, m.name, formatValue(m.c.Value()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatValue(m.g.Value()))
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			var cum uint64
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatValue(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, cum, m.name, formatValue(m.h.Sum()), m.name, m.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current value of every scalar metric plus
+// histogram sums/counts, keyed by name — the expvar bridge payload.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.metrics))
+	for name, m := range r.metrics {
+		switch m.kind {
+		case kindCounter:
+			out[name] = m.c.Value()
+		case kindGauge:
+			out[name] = m.g.Value()
+		case kindHistogram:
+			out[name+"_sum"] = m.h.Sum()
+			out[name+"_count"] = float64(m.h.Count())
+		}
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// expvarOnce guards the process-global expvar namespace, which panics on
+// duplicate Publish.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry under the "gcbench" expvar
+// variable (visible at /debug/vars alongside the runtime's memstats).
+// Safe to call more than once.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("gcbench", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %v, want 6", got)
+	}
+	h := r.Histogram("h", "a histogram", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x", "") != r.Counter("x", "") {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(42)
+	r.Gauge("a_depth", "first").Set(1.5)
+	h := r.Histogram("c_seconds", "third", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP a_depth first
+# TYPE a_depth gauge
+a_depth 1.5
+# HELP b_total second
+# TYPE b_total counter
+b_total 42
+# HELP c_seconds third
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.1"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 5.55
+c_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	r.Histogram("h", "", []float64{1}).Observe(3)
+	s := r.Snapshot()
+	if s["c_total"] != 7 || s["h_sum"] != 3 || s["h_count"] != 1 {
+		t.Fatalf("snapshot = %v", s)
+	}
+}
+
+// TestConcurrentMetricUpdates exercises the atomic paths under the race
+// detector.
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

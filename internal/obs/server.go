@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configures StartServer.
+type ServerOptions struct {
+	// Registry backs /metrics; nil means Default().
+	Registry *Registry
+	// Status, when non-nil, provides the /statusz payload. The returned
+	// value is JSON-encoded on every request, so it should be a cheap
+	// snapshot, not a live structure.
+	Status func() any
+}
+
+// Server is a running observability HTTP server. It serves:
+//
+//	/metrics       Prometheus text-format metric exposition
+//	/statusz       live JSON status (campaign progress when attached)
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard net/http/pprof profile handlers
+//	/debug/vars    expvar (runtime memstats + the gcbench metric bridge)
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (host:port; ":0" picks a free port) and
+// serves the observability endpoints until Close. It returns once the
+// listener is bound, so Addr is immediately usable.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	PublishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var payload any = map[string]string{"status": "idle"}
+		if opts.Status != nil {
+			payload = opts.Status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(payload)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately. In-flight pprof profile captures
+// are cut off rather than awaited — campaign shutdown must not block on
+// a 30-second CPU profile.
+func (s *Server) Close() error { return s.srv.Close() }

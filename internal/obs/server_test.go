@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "test").Add(3)
+	srv, err := StartServer("127.0.0.1:0", ServerOptions{
+		Registry: reg,
+		Status:   func() any { return map[string]int{"answer": 42} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv.URL()+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != 200 || !strings.Contains(body, "test_requests_total 3") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+
+	code, body = get(t, srv.URL()+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz: %d", code)
+	}
+	var status map[string]int
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if status["answer"] != 42 {
+		t.Fatalf("/statusz = %v", status)
+	}
+
+	if code, _ := get(t, srv.URL()+"/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, body := get(t, srv.URL()+"/debug/vars"); code != 200 || !strings.Contains(body, "gcbench") {
+		t.Fatalf("/debug/vars: %d (gcbench expvar bridge missing)", code)
+	}
+}
+
+func TestServerNilStatus(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv.URL()+"/statusz")
+	if code != 200 || !strings.Contains(body, "idle") {
+		t.Fatalf("/statusz without status source: %d %q", code, body)
+	}
+}

@@ -9,7 +9,11 @@ import (
 	"sync"
 
 	"gcbench/internal/behavior"
+	"gcbench/internal/obs"
 )
+
+// metricJournalWrites counts atomic journal rewrites (one per Record).
+var metricJournalWrites = obs.Default().Counter("gcbench_sweep_journal_writes_total", "Checkpoint journal rewrites.")
 
 // JournalEntry is one checkpoint record: the final outcome of one spec,
 // keyed by the spec's ID. Successful entries embed the measured behavior
@@ -22,8 +26,12 @@ type JournalEntry struct {
 	// Attempts and DurationMs mirror the RunResult accounting.
 	Attempts   int    `json:"attempts"`
 	DurationMs int64  `json:"durationMs"`
-	Err        string `json:"error,omitempty"`
+	Err        string        `json:"error,omitempty"`
 	Run        *behavior.Run `json:"run,omitempty"`
+	// Provenance carries the run's execution environment and start/end
+	// timestamps into the checkpoint, so a resumed campaign's corpus
+	// still documents where every measurement came from.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // entryOf converts a finished RunResult into its journal record.
@@ -36,6 +44,7 @@ func entryOf(r RunResult) JournalEntry {
 		DurationMs: r.Duration.Milliseconds(),
 		Err:        r.Err,
 		Run:        r.Run,
+		Provenance: r.Provenance,
 	}
 }
 
@@ -130,6 +139,7 @@ func (j *Journal) Record(e JournalEntry) error {
 		j.order = append(j.order, e.ID)
 	}
 	j.entries[e.ID] = e
+	metricJournalWrites.Inc()
 	return j.flushLocked()
 }
 

@@ -13,6 +13,7 @@ import (
 	"gcbench/internal/behavior"
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
+	"gcbench/internal/trace"
 )
 
 // Config controls campaign execution.
@@ -53,6 +54,10 @@ type Config struct {
 	// non-nil error fails that attempt. Deterministic fault injection for
 	// testing isolation, retry and resume behavior (see FaultRate).
 	InjectFault func(Spec) error
+	// Tracker, when non-nil, observes the campaign live (attempt starts,
+	// finished specs) and serves point-in-time snapshots — the /statusz
+	// data source.
+	Tracker *Tracker
 }
 
 // Execute runs every spec and returns the behavior corpus in spec order.
@@ -124,11 +129,23 @@ func RunSpec(spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
 // stops the computation at its next engine iteration barrier and returns
 // an error wrapping ctx.Err().
 func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
+	run, _, err := runSpecTrace(ctx, spec, workers, cache)
+	return run, err
+}
+
+// RunSpecTrace executes one spec and returns the behavior run together
+// with the full engine trace — per-iteration counters plus the phase
+// spans the Chrome trace export renders.
+func RunSpecTrace(ctx context.Context, spec Spec, workers int) (*behavior.Run, *trace.RunTrace, error) {
+	return runSpecTrace(ctx, spec, workers, nil)
+}
+
+func runSpecTrace(ctx context.Context, spec Spec, workers int, cache *graphCache) (*behavior.Run, *trace.RunTrace, error) {
 	if cache == nil {
 		cache = &graphCache{}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opt := algorithms.Options{Workers: workers, Context: ctx}
 	var out *algorithms.Output
@@ -139,7 +156,7 @@ func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCac
 		algorithms.PR, algorithms.AD, algorithms.KM:
 		g, gerr := gaGraph(spec, cache)
 		if gerr != nil {
-			return nil, gerr
+			return nil, nil, gerr
 		}
 		switch spec.Algorithm {
 		case algorithms.CC:
@@ -172,7 +189,7 @@ func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCac
 			return cfGraph{g, users}, nil
 		})
 		if gerr != nil {
-			return nil, gerr
+			return nil, nil, gerr
 		}
 		cg := v.(cfGraph)
 		switch spec.Algorithm {
@@ -189,29 +206,29 @@ func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCac
 	case algorithms.Jacobi:
 		sys, gerr := gen.Matrix(gen.JacobiConfig{NumRows: spec.NumRows, Seed: spec.Seed})
 		if gerr != nil {
-			return nil, gerr
+			return nil, nil, gerr
 		}
 		out, _, err = algorithms.JacobiSolve(sys, algorithms.JacobiOptions{Options: opt})
 
 	case algorithms.LBP:
 		m, gerr := gen.Grid(gen.GridConfig{Rows: spec.NumRows, Seed: spec.Seed})
 		if gerr != nil {
-			return nil, gerr
+			return nil, nil, gerr
 		}
 		out, _, err = algorithms.LoopyBeliefPropagation(m, algorithms.LBPOptions{Options: opt})
 
 	case algorithms.DD:
 		m, gerr := gen.MRF(gen.MRFConfig{NumEdges: spec.NumEdges, Seed: spec.Seed})
 		if gerr != nil {
-			return nil, gerr
+			return nil, nil, gerr
 		}
 		out, _, err = algorithms.DualDecomposition(m, algorithms.DDOptions{Options: opt})
 
 	default:
-		return nil, fmt.Errorf("sweep: unknown algorithm %q", spec.Algorithm)
+		return nil, nil, fmt.Errorf("sweep: unknown algorithm %q", spec.Algorithm)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	r := &behavior.Run{
@@ -225,7 +242,7 @@ func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCac
 		ActiveFraction: out.Trace.ActiveFraction(),
 		Raw:            behavior.FromTrace(out.Trace),
 	}
-	return r, nil
+	return r, out.Trace, nil
 }
 
 // gaGraph builds (or fetches) the shared Graph Analytics / Clustering

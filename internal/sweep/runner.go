@@ -10,7 +10,36 @@ import (
 	"time"
 
 	"gcbench/internal/behavior"
+	"gcbench/internal/obs"
 )
+
+// Campaign metrics on the process-wide obs registry.
+var (
+	metricRunsStarted   = obs.Default().Counter("gcbench_sweep_runs_started_total", "Run attempts started (retries included).")
+	metricRunsCompleted = obs.Default().Counter("gcbench_sweep_runs_completed_total", "Specs finished successfully.")
+	metricRunsFailed    = obs.Default().Counter("gcbench_sweep_runs_failed_total", "Specs that exhausted every attempt (failed + timeout).")
+	metricRunsRetried   = obs.Default().Counter("gcbench_sweep_runs_retried_total", "Extra attempts after a failed or timed-out first attempt.")
+	metricRunsSkipped   = obs.Default().Counter("gcbench_sweep_runs_skipped_total", "Specs restored from a checkpoint journal (resume).")
+	metricRunsCancelled = obs.Default().Counter("gcbench_sweep_runs_cancelled_total", "Specs stopped or never started due to cancellation.")
+	metricQueueDepth    = obs.Default().Gauge("gcbench_sweep_queue_depth", "Specs not yet finished in the running campaign.")
+	metricActiveRuns    = obs.Default().Gauge("gcbench_sweep_active_runs", "Specs executing right now.")
+	metricRunSeconds    = obs.Default().Histogram("gcbench_sweep_run_seconds", "Per-spec wall time across attempts.",
+		[]float64{0.01, 0.1, 0.5, 1, 5, 15, 60, 300, 1800})
+)
+
+// countFinished bumps the per-status counters for one finished spec.
+func countFinished(st behavior.RunStatus) {
+	switch st {
+	case behavior.StatusOK:
+		metricRunsCompleted.Inc()
+	case behavior.StatusSkipped:
+		metricRunsSkipped.Inc()
+	case behavior.StatusFailed, behavior.StatusTimeout:
+		metricRunsFailed.Inc()
+	case behavior.StatusCancelled:
+		metricRunsCancelled.Inc()
+	}
+}
 
 // RunResult is the outcome of one campaign spec: either a measured
 // behavior run, or an account of why the spec produced none.
@@ -27,6 +56,9 @@ type RunResult struct {
 	// Duration is wall-clock time spent on this spec across all attempts,
 	// including retry backoff.
 	Duration time.Duration `json:"durationNs"`
+	// Provenance records the execution environment and the run's
+	// start/end timestamps (nil for specs that never started).
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // CampaignResult aggregates a resilient campaign: every spec is accounted
@@ -83,6 +115,10 @@ func ExecuteCampaign(ctx context.Context, specs []Spec, cfg Config) (*CampaignRe
 
 	results := make([]RunResult, len(specs))
 	cache := &graphCache{}
+	if cfg.Tracker != nil {
+		cfg.Tracker.begin(specs)
+	}
+	metricQueueDepth.Set(float64(len(specs)))
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, par)
@@ -90,6 +126,12 @@ func ExecuteCampaign(ctx context.Context, specs []Spec, cfg Config) (*CampaignRe
 	done := 0
 	var journalErr error
 	finish := func(i int) {
+		countFinished(results[i].Status)
+		metricQueueDepth.Add(-1)
+		metricRunSeconds.Observe(results[i].Duration.Seconds())
+		if cfg.Tracker != nil {
+			cfg.Tracker.runFinished(results[i])
+		}
 		if cfg.Journal != nil {
 			st := results[i].Status
 			if st == behavior.StatusOK || st == behavior.StatusFailed || st == behavior.StatusTimeout {
@@ -166,8 +208,11 @@ func ExecuteCampaign(ctx context.Context, specs []Spec, cfg Config) (*CampaignRe
 // runResilient executes one spec with per-attempt timeout, bounded retry
 // with exponential backoff, and panic isolation.
 func runResilient(ctx context.Context, spec Spec, cfg Config, cache *graphCache) RunResult {
-	res := RunResult{Spec: spec}
 	start := time.Now()
+	res := RunResult{Spec: spec, Provenance: newProvenance(start)}
+	defer func() { res.Provenance.FinishedAt = time.Now() }()
+	metricActiveRuns.Add(1)
+	defer metricActiveRuns.Add(-1)
 	backoff := cfg.RetryBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
@@ -186,6 +231,13 @@ func runResilient(ctx context.Context, spec Spec, cfg Config, cache *graphCache)
 			break
 		}
 		res.Attempts = attempt
+		metricRunsStarted.Inc()
+		if attempt > 1 {
+			metricRunsRetried.Inc()
+		}
+		if cfg.Tracker != nil {
+			cfg.Tracker.runStarted(spec.ID(), attempt)
+		}
 		run, err := attemptSpec(ctx, spec, cfg, cache)
 		if err == nil {
 			res.Status = behavior.StatusOK

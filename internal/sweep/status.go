@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"gcbench/internal/behavior"
+)
+
+// Provenance records where and when one campaign run executed, so a
+// corpus (and its checkpoint journal) carries enough context to judge
+// whether two measurements are comparable — the "validated run
+// provenance" LDBC Graphalytics asks of a trustworthy harness.
+type Provenance struct {
+	// GoVersion is runtime.Version() of the executing binary.
+	GoVersion string `json:"goVersion"`
+	// GOMAXPROCS is the scheduler parallelism during the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GcbenchVersion is the main-module version from the binary's build
+	// info ("(devel)" for source builds), with the VCS revision appended
+	// when the build was stamped.
+	GcbenchVersion string `json:"gcbenchVersion,omitempty"`
+	// StartedAt / FinishedAt bound the run's wall-clock window,
+	// including retries and backoff.
+	StartedAt  time.Time `json:"startedAt"`
+	FinishedAt time.Time `json:"finishedAt"`
+}
+
+// buildVersion resolves the gcbench build identity once; ReadBuildInfo
+// walks the embedded module data, which is not free.
+var buildVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			v += "+" + rev
+			break
+		}
+	}
+	return v
+})
+
+// newProvenance stamps a run's start.
+func newProvenance(start time.Time) *Provenance {
+	return &Provenance{
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		GcbenchVersion: buildVersion(),
+		StartedAt:      start,
+	}
+}
+
+// Tracker observes a campaign live: ExecuteCampaign (when
+// Config.Tracker is set) reports every attempt start and every finished
+// spec, and Snapshot renders the whole campaign's state as one
+// JSON-encodable value — the /statusz payload.
+type Tracker struct {
+	mu        sync.Mutex
+	startedAt time.Time
+	order     []string
+	states    map[string]*RunState
+}
+
+// NewTracker returns an empty campaign tracker.
+func NewTracker() *Tracker {
+	return &Tracker{states: make(map[string]*RunState)}
+}
+
+// RunState is one spec's live state in a campaign.
+type RunState struct {
+	ID string `json:"id"`
+	// State is "pending", "running", or a final behavior.RunStatus
+	// ("ok", "failed", "timeout", "cancelled", "skipped").
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+	// StartedAt is RFC3339Nano of the first attempt ("" while pending).
+	StartedAt string `json:"startedAt,omitempty"`
+	// DurationMs is total wall time across attempts (final states only).
+	DurationMs int64  `json:"durationMs,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
+// CampaignStatus is a point-in-time snapshot of a campaign.
+type CampaignStatus struct {
+	StartedAt string `json:"startedAt"`
+	ElapsedMs int64  `json:"elapsedMs"`
+	Total     int    `json:"total"`
+	Pending   int    `json:"pending"`
+	Running   int    `json:"running"`
+	Completed int    `json:"completed"`
+	Skipped   int    `json:"skipped"`
+	Failed    int    `json:"failed"`
+	Cancelled int    `json:"cancelled"`
+	// ETAMs extrapolates the remaining wall time from the mean pace of
+	// finished specs (0 until the first spec finishes).
+	ETAMs int64      `json:"etaMs"`
+	Runs  []RunState `json:"runs"`
+}
+
+// begin registers the campaign's spec list; every spec starts pending.
+func (t *Tracker) begin(specs []Spec) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.startedAt = time.Now()
+	for _, s := range specs {
+		id := s.ID()
+		if _, ok := t.states[id]; ok {
+			continue
+		}
+		t.order = append(t.order, id)
+		t.states[id] = &RunState{ID: id, State: "pending"}
+	}
+}
+
+// runStarted marks one attempt of a spec as in flight.
+func (t *Tracker) runStarted(id string, attempt int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.states[id]
+	if !ok {
+		return
+	}
+	st.State = "running"
+	st.Attempts = attempt
+	if st.StartedAt == "" {
+		st.StartedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+}
+
+// runFinished records a spec's final RunResult.
+func (t *Tracker) runFinished(r RunResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.states[r.Spec.ID()]
+	if !ok {
+		return
+	}
+	st.State = string(r.Status)
+	st.Attempts = r.Attempts
+	st.DurationMs = r.Duration.Milliseconds()
+	st.Err = r.Err
+	if st.StartedAt == "" && r.Provenance != nil {
+		st.StartedAt = r.Provenance.StartedAt.UTC().Format(time.RFC3339Nano)
+	}
+}
+
+// Snapshot returns the campaign's current state. Safe to call from any
+// goroutine, any number of times, including after the campaign ended.
+func (t *Tracker) Snapshot() CampaignStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := CampaignStatus{Total: len(t.order), Runs: make([]RunState, 0, len(t.order))}
+	if !t.startedAt.IsZero() {
+		s.StartedAt = t.startedAt.UTC().Format(time.RFC3339Nano)
+		s.ElapsedMs = time.Since(t.startedAt).Milliseconds()
+	}
+	for _, id := range t.order {
+		st := t.states[id]
+		s.Runs = append(s.Runs, *st)
+		switch st.State {
+		case "pending":
+			s.Pending++
+		case "running":
+			s.Running++
+		case string(behavior.StatusOK):
+			s.Completed++
+		case string(behavior.StatusSkipped):
+			s.Skipped++
+		case string(behavior.StatusFailed), string(behavior.StatusTimeout):
+			s.Failed++
+		case string(behavior.StatusCancelled):
+			s.Cancelled++
+		}
+	}
+	if finished := s.Completed + s.Skipped + s.Failed + s.Cancelled; finished > 0 && s.ElapsedMs > 0 {
+		remaining := s.Total - finished
+		s.ETAMs = int64(float64(s.ElapsedMs) / float64(finished) * float64(remaining))
+	}
+	return s
+}

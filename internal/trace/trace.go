@@ -25,6 +25,31 @@ type IterationStats struct {
 	ApplyTime time.Duration `json:"applyTimeNs"`
 	// WallTime is the full iteration wall-clock time.
 	WallTime time.Duration `json:"wallTimeNs"`
+
+	// Phase spans: wall-clock time of each of the iteration's barrier
+	// phases. ApplyTime above is *summed worker busy* time (the WORK
+	// numerator, unchanged); ApplyWall is the phase's elapsed time.
+	GatherWall  time.Duration `json:"gatherWallNs"`
+	ApplyWall   time.Duration `json:"applyWallNs"`
+	ScatterWall time.Duration `json:"scatterWallNs"`
+	// BarrierTime is the iteration's residual outside the three phases:
+	// pre/post-iteration hooks, frontier bookkeeping and scheduling
+	// slack. By construction GatherWall + ApplyWall + ScatterWall +
+	// BarrierTime == WallTime.
+	BarrierTime time.Duration `json:"barrierTimeNs"`
+	// WorkerSpans attributes per-phase busy time to each engine worker
+	// (chunk-granular timing, so a worker's busy time never exceeds the
+	// phase wall time it ran under).
+	WorkerSpans []WorkerSpan `json:"workerSpans,omitempty"`
+}
+
+// WorkerSpan is one worker's busy time within one iteration, split by
+// phase. The sum of Apply over workers equals IterationStats.ApplyTime.
+type WorkerSpan struct {
+	Worker  int           `json:"worker"`
+	Gather  time.Duration `json:"gatherNs"`
+	Apply   time.Duration `json:"applyNs"`
+	Scatter time.Duration `json:"scatterNs"`
 }
 
 // RunTrace is the complete record of one graph computation.
@@ -41,9 +66,13 @@ type RunTrace struct {
 func (t *RunTrace) NumIterations() int { return len(t.Iterations) }
 
 // ActiveFraction returns the per-iteration active fraction series —
-// the paper's first behavior metric.
+// the paper's first behavior metric. A trace over zero vertices (or a
+// negative count from a corrupt file) yields zeros, never NaN/Inf.
 func (t *RunTrace) ActiveFraction() []float64 {
 	out := make([]float64, len(t.Iterations))
+	if t.NumVertices <= 0 {
+		return out
+	}
 	n := float64(t.NumVertices)
 	for i, it := range t.Iterations {
 		out[i] = float64(it.Active) / n

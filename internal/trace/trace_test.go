@@ -66,6 +66,50 @@ func TestEmptyTraceMeans(t *testing.T) {
 	}
 }
 
+// TestDegenerateTracesNeverNaN pins the guard behavior for traces that
+// would otherwise divide by zero: zero (or negative) vertex counts and
+// empty iteration lists must produce finite zeros, never NaN/Inf, so a
+// corrupt or synthetic trace cannot poison a behavior space.
+func TestDegenerateTracesNeverNaN(t *testing.T) {
+	iters := []IterationStats{{Iteration: 0, Active: 5, Updates: 5, EdgeReads: 10, Messages: 3}}
+	cases := []struct {
+		name string
+		tr   *RunTrace
+		af   []float64
+	}{
+		{"zero vertices", &RunTrace{NumVertices: 0, NumEdges: 10, Iterations: iters}, []float64{0}},
+		{"negative vertices", &RunTrace{NumVertices: -1, NumEdges: 10, Iterations: iters}, []float64{0}},
+		{"empty iterations", &RunTrace{NumVertices: 10, NumEdges: 10}, nil},
+		{"all zero", &RunTrace{}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			af := c.tr.ActiveFraction()
+			if len(af) != len(c.af) {
+				t.Fatalf("ActiveFraction length = %d, want %d", len(af), len(c.af))
+			}
+			for i, v := range af {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("ActiveFraction[%d] = %v", i, v)
+				}
+				if v != c.af[i] {
+					t.Fatalf("ActiveFraction[%d] = %v, want %v", i, v, c.af[i])
+				}
+			}
+			for name, v := range map[string]float64{
+				"MeanUpdates":      c.tr.MeanUpdates(),
+				"MeanEdgeReads":    c.tr.MeanEdgeReads(),
+				"MeanMessages":     c.tr.MeanMessages(),
+				"MeanApplySeconds": c.tr.MeanApplySeconds(),
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s = %v", name, v)
+				}
+			}
+		})
+	}
+}
+
 func TestTruncate(t *testing.T) {
 	tr := sampleTrace()
 	short := tr.Truncate(2)
