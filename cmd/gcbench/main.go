@@ -9,6 +9,7 @@
 //	gcbench run     -alg PR -tracefile pr.trace.json     # + Chrome trace-event phase spans
 //	gcbench figures [-runs runs.json] [-fig all|N|tableN] # regenerate figures/tables
 //	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
+//	gcbench serve   [-runs runs.json] [-listen :8080]    # corpus + ensemble design HTTP API
 package main
 
 import (
@@ -44,6 +45,8 @@ func main() {
 		err = cmdEnsemble(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -67,6 +70,7 @@ subcommands:
   figures   regenerate the paper's figures/tables from a corpus
   ensemble  search the corpus for the best benchmark ensembles
   predict   interpolate a computation's behavior from the corpus (§7)
+  serve     serve the corpus + ensemble design as a JSON HTTP API
 
 run 'gcbench <subcommand> -h' for flags.
 `)

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gcbench"
+)
+
+// cmdServe runs the ensemble-design API server over a measured corpus:
+//
+//	gcbench serve -runs runs-standard.json -listen :8080
+//
+// The corpus may be a runs JSON array or a sweep checkpoint journal;
+// POST /api/corpus/reload hot-swaps it in place after a re-sweep.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	runsPath := fs.String("runs", "runs.json", "behavior corpus: runs JSON (from 'gcbench sweep') or a checkpoint journal")
+	listen := fs.String("listen", ":8080", "API listen address")
+	samples := fs.Int("samples", gcbench.DefaultCoverageSamples, "coverage Monte-Carlo samples (paper: 1e6)")
+	workers := fs.Int("workers", 0, "concurrent ensemble searches (0 = all cores)")
+	queue := fs.Int("queue", 64, "design requests queued before shedding with 429")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline (plumbed into search loops)")
+	cacheSize := fs.Int("cache", 256, "design-response LRU cache entries")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	vb := verbosityFlags(fs)
+	fs.Parse(args)
+	vb.setup()
+
+	snap, err := gcbench.LoadCorpusSnapshot(*runsPath)
+	if err != nil {
+		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
+	}
+	store := gcbench.NewCorpusStore(snap)
+	srv, err := gcbench.NewAPIServer(gcbench.APIServerConfig{
+		Store:          store,
+		Samples:        *samples,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*listen); err != nil {
+		return err
+	}
+	slog.Info("ensemble-design API listening",
+		"url", srv.URL(),
+		"corpus", *runsPath,
+		"records", len(snap.Records),
+		"okRuns", snap.OKCount(),
+		"poolSize", snap.PoolSize(),
+		"endpoints", "/api/runs /api/behavior/{key} /api/ensemble/design /api/ensemble/best /api/predict /api/corpus /metrics /statusz /debug/pprof/")
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests —
+	// including design searches holding worker slots — within the
+	// -drain budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	slog.Info("shutting down; draining in-flight requests", "budget", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain exceeded %s: %w", *drain, err)
+	}
+	return nil
+}

@@ -26,12 +26,14 @@ package gcbench
 import (
 	"gcbench/internal/algorithms"
 	"gcbench/internal/behavior"
+	"gcbench/internal/corpus"
 	"gcbench/internal/ensemble"
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
 	"gcbench/internal/obs"
 	"gcbench/internal/predict"
 	"gcbench/internal/report"
+	"gcbench/internal/serve"
 	"gcbench/internal/sweep"
 	"gcbench/internal/trace"
 )
@@ -282,16 +284,22 @@ type CoverageEstimator = ensemble.CoverageEstimator
 // Scored is an ensemble with its metric value.
 type Scored = ensemble.Scored
 
-// Ensemble metrics and searches.
+// Ensemble metrics and searches. The Ctx variants abort cooperatively
+// when their context is cancelled — within one search step — which is
+// what lets `gcbench serve` honor per-request deadlines.
 var (
-	Spread               = ensemble.Spread
-	NewCoverageEstimator = ensemble.NewCoverageEstimator
-	BestSpreadExhaustive = ensemble.BestSpreadExhaustive
-	BestSpreadGreedy     = ensemble.BestSpreadGreedy
-	BestCoverageGreedy   = ensemble.BestCoverageGreedy
-	TopEnsembles         = ensemble.TopEnsembles
-	UpperBoundSpread     = ensemble.UpperBoundSpread
-	UpperBoundCoverage   = ensemble.UpperBoundCoverage
+	Spread                  = ensemble.Spread
+	NewCoverageEstimator    = ensemble.NewCoverageEstimator
+	BestSpreadExhaustive    = ensemble.BestSpreadExhaustive
+	BestSpreadExhaustiveCtx = ensemble.BestSpreadExhaustiveCtx
+	BestSpreadGreedy        = ensemble.BestSpreadGreedy
+	BestSpreadGreedyCtx     = ensemble.BestSpreadGreedyCtx
+	BestCoverageGreedy      = ensemble.BestCoverageGreedy
+	BestCoverageGreedyCtx   = ensemble.BestCoverageGreedyCtx
+	TopEnsembles            = ensemble.TopEnsembles
+	TopEnsemblesCtx         = ensemble.TopEnsemblesCtx
+	UpperBoundSpread        = ensemble.UpperBoundSpread
+	UpperBoundCoverage      = ensemble.UpperBoundCoverage
 )
 
 // Metric selects a top-K objective.
@@ -311,8 +319,46 @@ type AnnealOptions = ensemble.AnnealOptions
 
 // Simulated-annealing searches (stronger than greedy+exchange; see §7).
 var (
-	AnnealSpread   = ensemble.AnnealSpread
-	AnnealCoverage = ensemble.AnnealCoverage
+	AnnealSpread      = ensemble.AnnealSpread
+	AnnealSpreadCtx   = ensemble.AnnealSpreadCtx
+	AnnealCoverage    = ensemble.AnnealCoverage
+	AnnealCoverageCtx = ensemble.AnnealCoverageCtx
+)
+
+// --- Corpus store & serving ---
+
+// CorpusSnapshot is one immutable, indexed corpus version.
+type CorpusSnapshot = corpus.Snapshot
+
+// CorpusRecord is one corpus entry (run + campaign outcome + stable key).
+type CorpusRecord = corpus.Record
+
+// CorpusStore publishes corpus snapshots with atomic hot-swap semantics.
+type CorpusStore = corpus.Store
+
+// CorpusFilter selects corpus records by algorithm/size/alpha/status.
+type CorpusFilter = corpus.Filter
+
+// APIServer is the ensemble-design-as-a-service HTTP server
+// (`gcbench serve`): a JSON API over a hot-reloadable corpus with result
+// caching, singleflight coalescing and queue-depth backpressure.
+type APIServer = serve.Server
+
+// APIServerConfig parameterizes an APIServer.
+type APIServerConfig = serve.Config
+
+// DefaultCoverageSamples is the paper's coverage sample count (10^6).
+const DefaultCoverageSamples = ensemble.DefaultSamples
+
+// Corpus-store and API-server entry points. LoadCorpusSnapshot accepts
+// either corpus format: a runs JSON array or a checkpoint journal.
+var (
+	LoadCorpusSnapshot      = corpus.LoadFile
+	NewCorpusSnapshot       = corpus.NewSnapshotFromRuns
+	CorpusSnapshotOfJournal = corpus.NewSnapshotFromJournal
+	NewCorpusStore          = corpus.NewStore
+	CorpusKeyOf             = corpus.KeyOf
+	NewAPIServer            = serve.New
 )
 
 // --- Behavior prediction (§7 future work) ---

@@ -1,6 +1,7 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,6 +34,17 @@ type AnnealOptions struct {
 // from pool[idx], seeded by the greedy solution. Returns the best member
 // set found and its spread.
 func AnnealSpread(pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, float64, error) {
+	return AnnealSpreadCtx(context.Background(), pool, idx, opt)
+}
+
+// annealCancelStride is how many cheap (O(k)) spread proposals run
+// between cancellation checks; coverage proposals check every step
+// because each one is a full Monte-Carlo pass.
+const annealCancelStride = 64
+
+// AnnealSpreadCtx is AnnealSpread with cooperative cancellation, checked
+// every annealCancelStride proposal steps.
+func AnnealSpreadCtx(ctx context.Context, pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, float64, error) {
 	if opt.Size < 2 {
 		return nil, 0, fmt.Errorf("ensemble: annealing needs size ≥ 2, got %d", opt.Size)
 	}
@@ -50,7 +62,10 @@ func AnnealSpread(pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, 
 	r := rng.New(opt.Seed ^ 0xa11ea1)
 
 	// Seed with greedy+exchange.
-	seedSets := BestSpreadGreedy(pool, idx, opt.Size)
+	seedSets, err := BestSpreadGreedyCtx(ctx, pool, idx, opt.Size)
+	if err != nil {
+		return nil, 0, err
+	}
 	cur := append([]int(nil), seedSets[opt.Size]...)
 	k := len(cur)
 	inSet := make(map[int]bool, k)
@@ -70,6 +85,11 @@ func AnnealSpread(pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, 
 
 	candidates := idx
 	for step := 0; step < steps; step++ {
+		if step%annealCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		t := temp * (1 - float64(step)/float64(steps))
 		pos := r.Intn(k)
 		cand := candidates[r.Intn(len(candidates))]
@@ -106,6 +126,12 @@ func AnnealSpread(pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, 
 // moderately sized estimator (~20k samples) and refine the winner with a
 // larger one if needed.
 func AnnealCoverage(cov *CoverageEstimator, pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, float64, error) {
+	return AnnealCoverageCtx(context.Background(), cov, pool, idx, opt)
+}
+
+// AnnealCoverageCtx is AnnealCoverage with cooperative cancellation,
+// checked before every proposal's Monte-Carlo evaluation.
+func AnnealCoverageCtx(ctx context.Context, cov *CoverageEstimator, pool []behavior.Vector, idx []int, opt AnnealOptions) ([]int, float64, error) {
 	if opt.Size < 1 {
 		return nil, 0, fmt.Errorf("ensemble: annealing needs size ≥ 1, got %d", opt.Size)
 	}
@@ -125,7 +151,10 @@ func AnnealCoverage(cov *CoverageEstimator, pool []behavior.Vector, idx []int, o
 	}
 	r := rng.New(opt.Seed ^ 0xc0ffee51)
 
-	seedSets := BestCoverageGreedy(cov, pool, idx, opt.Size)
+	seedSets, err := BestCoverageGreedyCtx(ctx, cov, pool, idx, opt.Size)
+	if err != nil {
+		return nil, 0, err
+	}
 	cur := append([]int(nil), seedSets[opt.Size]...)
 	k := len(cur)
 	inSet := make(map[int]bool, k)
@@ -144,6 +173,9 @@ func AnnealCoverage(cov *CoverageEstimator, pool []behavior.Vector, idx []int, o
 	bestCov := curCov
 
 	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		t := temp * (1 - float64(step)/float64(steps))
 		pos := r.Intn(k)
 		cand := idx[r.Intn(len(idx))]

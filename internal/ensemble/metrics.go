@@ -29,7 +29,9 @@ import (
 )
 
 // Spread returns the mean pairwise distance of the given points (§5.1).
-// Ensembles with fewer than two members have zero spread.
+// Ensembles with fewer than two members (including nil and singleton
+// inputs) have zero spread by definition — no pairs, no dispersion —
+// never NaN from the 0/0 pair mean.
 func Spread(points []behavior.Vector) float64 {
 	n := len(points)
 	if n < 2 {
@@ -86,6 +88,8 @@ func (c *CoverageEstimator) NumSamples() int { return len(c.samples) }
 
 // Coverage returns NS / Σ min-distance for the ensemble — the reciprocal
 // of the mean distance from a random behavior point to its nearest member.
+// An empty ensemble covers nothing and scores a defined 0 (every sample's
+// nearest-member distance is unbounded), never NaN or a division panic.
 func (c *CoverageEstimator) Coverage(points []behavior.Vector) float64 {
 	if len(points) == 0 {
 		return 0
@@ -95,6 +99,11 @@ func (c *CoverageEstimator) Coverage(points []behavior.Vector) float64 {
 }
 
 func (c *CoverageEstimator) coverageFromMin(minDist []float64) float64 {
+	// No samples means no evidence either way; report 0 rather than the
+	// 0/0 NaN the bare formula would produce.
+	if len(minDist) == 0 {
+		return 0
+	}
 	var sum float64
 	for _, d := range minDist {
 		sum += d
@@ -135,6 +144,9 @@ func (c *CoverageEstimator) MinDistances(prev []float64, points []behavior.Vecto
 // CoverageWith evaluates the coverage of prev ∪ {p} given prev's min
 // distances, without allocating a new array per candidate.
 func (c *CoverageEstimator) CoverageWith(prevMin []float64, p behavior.Vector) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
 	partial := make([]float64, c.workers)
 	c.parallelSamplesWorker(func(w, lo, hi int) {
 		var sum float64

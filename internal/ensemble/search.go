@@ -1,6 +1,7 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,12 +12,26 @@ import (
 // (2^22 subset DFS nodes stay well under a second).
 const maxExhaustivePool = 22
 
+// Cancellation contract: every search in this package has a Ctx variant
+// that checks ctx between search steps — one greedy growth round, one
+// exchange pass, one annealing proposal, one beam extension — so a
+// deadline-exceeded design request returns within a single step rather
+// than running the search to completion. The non-Ctx names wrap the Ctx
+// variants with context.Background() and keep their historical
+// signatures.
+
 // BestSpreadExhaustive finds, for every size 1..maxSize, the subset of
 // pool[idx] with maximum spread, by a single DFS over all subsets with an
 // incrementally maintained pairwise-distance sum. Exact, usable for the
 // single-algorithm pools of Figure 14 (20 runs each). Returns best[k] for
 // ensemble size k (best[0] and best[1] are trivial).
 func BestSpreadExhaustive(pool []behavior.Vector, idx []int, maxSize int) ([][]int, error) {
+	return BestSpreadExhaustiveCtx(context.Background(), pool, idx, maxSize)
+}
+
+// BestSpreadExhaustiveCtx is BestSpreadExhaustive with cooperative
+// cancellation, checked at every top-level DFS branch.
+func BestSpreadExhaustiveCtx(ctx context.Context, pool []behavior.Vector, idx []int, maxSize int) ([][]int, error) {
 	n := len(idx)
 	if n > maxExhaustivePool {
 		return nil, fmt.Errorf("ensemble: pool of %d too large for exhaustive search (max %d)", n, maxExhaustivePool)
@@ -58,7 +73,14 @@ func BestSpreadExhaustive(pool []behavior.Vector, idx []int, maxSize int) ([][]i
 			cur = cur[:len(cur)-1]
 		}
 	}
-	dfs(0, 0)
+	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cur = append(cur, j)
+		dfs(j+1, 0)
+		cur = cur[:0]
+	}
 
 	out := make([][]int, maxSize+1)
 	for k := 1; k <= maxSize; k++ {
@@ -77,13 +99,20 @@ func BestSpreadExhaustive(pool []behavior.Vector, idx []int, maxSize int) ([][]i
 // (the unrestricted 215-run corpus of Figure 18). Returns best[k] for
 // k = 1..maxSize.
 func BestSpreadGreedy(pool []behavior.Vector, idx []int, maxSize int) [][]int {
+	out, _ := BestSpreadGreedyCtx(context.Background(), pool, idx, maxSize)
+	return out
+}
+
+// BestSpreadGreedyCtx is BestSpreadGreedy with cooperative cancellation,
+// checked before every growth round and inside the exchange refinement.
+func BestSpreadGreedyCtx(ctx context.Context, pool []behavior.Vector, idx []int, maxSize int) ([][]int, error) {
 	n := len(idx)
 	if maxSize > n {
 		maxSize = n
 	}
 	out := make([][]int, maxSize+1)
 	if n == 0 || maxSize == 0 {
-		return out
+		return out, nil
 	}
 
 	// Start from the farthest pair (or the single first point for k=1).
@@ -107,19 +136,28 @@ func BestSpreadGreedy(pool []behavior.Vector, idx []int, maxSize int) [][]int {
 	}
 	inSet := make([]bool, n)
 	inSet[a], inSet[b] = true, true
-	pairSum := bestD
 
-	emit := func(k int) {
+	emit := func(k int) error {
 		set := make([]int, len(members))
 		for i, j := range members {
 			set[i] = idx[j]
 		}
-		out[k] = ImproveSpreadExchange(pool, set, idx)
+		refined, err := ImproveSpreadExchangeCtx(ctx, pool, set, idx)
+		if err != nil {
+			return err
+		}
+		out[k] = refined
+		return nil
 	}
 	if maxSize >= 2 {
-		emit(2)
+		if err := emit(2); err != nil {
+			return nil, err
+		}
 	}
 	for k := 3; k <= maxSize; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestJ, bestAdd := -1, -1.0
 		for j := 0; j < n; j++ {
 			if inSet[j] {
@@ -135,13 +173,14 @@ func BestSpreadGreedy(pool []behavior.Vector, idx []int, maxSize int) [][]int {
 		}
 		inSet[bestJ] = true
 		members = append(members, bestJ)
-		pairSum += distSum[bestJ]
 		for j := 0; j < n; j++ {
 			distSum[j] += behavior.Distance(pool[idx[j]], pool[idx[bestJ]])
 		}
-		emit(k)
+		if err := emit(k); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // ImproveSpreadExchange refines an ensemble by swapping members with
@@ -149,6 +188,13 @@ func BestSpreadGreedy(pool []behavior.Vector, idx []int, maxSize int) [][]int {
 // candidates are scanned in order and the best single swap is applied per
 // pass, up to a fixed pass budget.
 func ImproveSpreadExchange(pool []behavior.Vector, members, candidates []int) []int {
+	out, _ := ImproveSpreadExchangeCtx(context.Background(), pool, members, candidates)
+	return out
+}
+
+// ImproveSpreadExchangeCtx is ImproveSpreadExchange with cooperative
+// cancellation, checked once per exchange pass.
+func ImproveSpreadExchangeCtx(ctx context.Context, pool []behavior.Vector, members, candidates []int) ([]int, error) {
 	cur := append([]int(nil), members...)
 	curSpread := SpreadOf(pool, cur)
 	inSet := make(map[int]bool, len(cur))
@@ -157,6 +203,9 @@ func ImproveSpreadExchange(pool []behavior.Vector, members, candidates []int) []
 	}
 	const maxPasses = 20
 	for pass := 0; pass < maxPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestGain := 1e-12
 		bestPos, bestCand := -1, -1
 		for pos := range cur {
@@ -182,7 +231,7 @@ func ImproveSpreadExchange(pool []behavior.Vector, members, candidates []int) []
 		cur[bestPos] = bestCand
 	}
 	sort.Ints(cur)
-	return cur
+	return cur, nil
 }
 
 // BestCoverageGreedy grows an ensemble by repeatedly adding the candidate
@@ -190,6 +239,14 @@ func ImproveSpreadExchange(pool []behavior.Vector, members, candidates []int) []
 // Greedy is the standard near-optimal heuristic for this k-median-style
 // objective. Returns best[k] for k = 1..maxSize.
 func BestCoverageGreedy(cov *CoverageEstimator, pool []behavior.Vector, idx []int, maxSize int) [][]int {
+	out, _ := BestCoverageGreedyCtx(context.Background(), cov, pool, idx, maxSize)
+	return out
+}
+
+// BestCoverageGreedyCtx is BestCoverageGreedy with cooperative
+// cancellation, checked before every candidate's Monte-Carlo evaluation
+// (the dominant cost of a coverage search step).
+func BestCoverageGreedyCtx(ctx context.Context, cov *CoverageEstimator, pool []behavior.Vector, idx []int, maxSize int) ([][]int, error) {
 	n := len(idx)
 	if maxSize > n {
 		maxSize = n
@@ -205,6 +262,9 @@ func BestCoverageGreedy(cov *CoverageEstimator, pool []behavior.Vector, idx []in
 			if inSet[j] {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if c := cov.CoverageWith(minDist, pool[idx[j]]); c > bestCov {
 				bestCov, bestJ = c, j
 			}
@@ -219,5 +279,65 @@ func BestCoverageGreedy(cov *CoverageEstimator, pool []behavior.Vector, idx []in
 		sort.Ints(set)
 		out[k] = set
 	}
+	return out, nil
+}
+
+// ImproveCoverageExchange refines a coverage ensemble by swapping members
+// with outside candidates while any swap improves coverage. Each swap
+// evaluation is a full Monte-Carlo pass over the estimator's samples, so
+// pass a moderately sized estimator for large pools. Deterministic; the
+// pass budget is smaller than the spread exchange's because evaluations
+// are ~10^4× costlier.
+func ImproveCoverageExchange(cov *CoverageEstimator, pool []behavior.Vector, members, candidates []int) []int {
+	out, _ := ImproveCoverageExchangeCtx(context.Background(), cov, pool, members, candidates)
 	return out
+}
+
+// ImproveCoverageExchangeCtx is ImproveCoverageExchange with cooperative
+// cancellation, checked before every candidate evaluation.
+func ImproveCoverageExchangeCtx(ctx context.Context, cov *CoverageEstimator, pool []behavior.Vector, members, candidates []int) ([]int, error) {
+	cur := append([]int(nil), members...)
+	pts := func(set []int) []behavior.Vector {
+		out := make([]behavior.Vector, len(set))
+		for i, m := range set {
+			out[i] = pool[m]
+		}
+		return out
+	}
+	curCov := cov.Coverage(pts(cur))
+	inSet := make(map[int]bool, len(cur))
+	for _, m := range cur {
+		inSet[m] = true
+	}
+	const maxPasses = 5
+	for pass := 0; pass < maxPasses; pass++ {
+		bestGain := 1e-12
+		bestPos, bestCand := -1, -1
+		for pos := range cur {
+			for _, cand := range candidates {
+				if inSet[cand] {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				old := cur[pos]
+				cur[pos] = cand
+				c := cov.Coverage(pts(cur))
+				cur[pos] = old
+				if gain := c - curCov; gain > bestGain {
+					bestGain, bestPos, bestCand = gain, pos, cand
+				}
+			}
+		}
+		if bestPos < 0 {
+			break
+		}
+		delete(inSet, cur[bestPos])
+		inSet[bestCand] = true
+		curCov += bestGain
+		cur[bestPos] = bestCand
+	}
+	sort.Ints(cur)
+	return cur, nil
 }

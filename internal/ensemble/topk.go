@@ -1,6 +1,7 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -51,6 +52,13 @@ type TopKOptions struct {
 // To minimize the shadowing the paper worries about, the beam keeps many
 // more partials than K.
 func TopEnsembles(metric Metric, pool []behavior.Vector, idx []int, opt TopKOptions) ([]Scored, error) {
+	return TopEnsemblesCtx(context.Background(), metric, pool, idx, opt)
+}
+
+// TopEnsemblesCtx is TopEnsembles with cooperative cancellation, checked
+// before each frontier partial's extension (coverage scoring makes one
+// Monte-Carlo pass per extension, so that is the step granularity).
+func TopEnsemblesCtx(ctx context.Context, metric Metric, pool []behavior.Vector, idx []int, opt TopKOptions) ([]Scored, error) {
 	if opt.Size < 1 {
 		return nil, fmt.Errorf("ensemble: top-K size must be positive, got %d", opt.Size)
 	}
@@ -97,6 +105,9 @@ func TopEnsembles(metric Metric, pool []behavior.Vector, idx []int, opt TopKOpti
 	for size := 2; size <= opt.Size; size++ {
 		var next []partial
 		for _, f := range frontier {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			last := f.members[len(f.members)-1]
 			for p := last + 1; p < len(idx); p++ {
 				m := append(append([]int(nil), f.members...), p)

@@ -32,17 +32,18 @@ type Server struct {
 	srv *http.Server
 }
 
-// StartServer listens on addr (host:port; ":0" picks a free port) and
-// serves the observability endpoints until Close. It returns once the
-// listener is bound, so Addr is immediately usable.
-func StartServer(addr string, opts ServerOptions) (*Server, error) {
+// RegisterRoutes registers the observability endpoints — /metrics,
+// /statusz, /healthz, /debug/vars and /debug/pprof/* — on a
+// caller-supplied mux, so servers that add their own routes (the sweep
+// campaign's -listen surface, the `gcbench serve` API) share one route
+// implementation instead of duplicating it.
+func RegisterRoutes(mux *http.ServeMux, opts ServerOptions) {
 	reg := opts.Registry
 	if reg == nil {
 		reg = Default()
 	}
 	PublishExpvar()
 
-	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -64,6 +65,14 @@ func StartServer(addr string, opts ServerOptions) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// StartServer listens on addr (host:port; ":0" picks a free port) and
+// serves the observability endpoints until Close. It returns once the
+// listener is bound, so Addr is immediately usable.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	mux := http.NewServeMux()
+	RegisterRoutes(mux, opts)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -72,5 +73,38 @@ func TestServerNilStatus(t *testing.T) {
 	code, body := get(t, srv.URL()+"/statusz")
 	if code != 200 || !strings.Contains(body, "idle") {
 		t.Fatalf("/statusz without status source: %d %q", code, body)
+	}
+}
+
+// TestRegisterRoutesOnCallerMux covers the factored route registration:
+// an embedding server (e.g. internal/serve) mounts the observability
+// surface on its own mux alongside its API routes.
+func TestRegisterRoutesOnCallerMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("embed_requests_total", "test").Add(7)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/thing", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	RegisterRoutes(mux, ServerOptions{
+		Registry: reg,
+		Status:   func() any { return map[string]int{"embedded": 1} },
+	})
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, body := get(t, srv.URL+"/metrics"); code != 200 || !strings.Contains(body, "embed_requests_total 7") {
+		t.Fatalf("/metrics on caller mux: %d %q", code, body)
+	}
+	if code, body := get(t, srv.URL+"/statusz"); code != 200 || !strings.Contains(body, "embedded") {
+		t.Fatalf("/statusz on caller mux: %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/healthz"); code != 200 {
+		t.Fatalf("/healthz on caller mux: %d", code)
+	}
+	// The caller's own routes coexist with the observability surface.
+	if code, _ := get(t, srv.URL+"/api/thing"); code != http.StatusTeapot {
+		t.Fatalf("/api/thing: %d", code)
 	}
 }

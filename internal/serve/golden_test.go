@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the serve API golden files")
+
+// TestGoldenResponses pins the deterministic API responses over the
+// shipped standard corpus (runs-standard.json): a corpus regression, a
+// search regression, or an accidental wire-format change all surface as
+// a golden diff. Regenerate deliberately with:
+//
+//	go test ./internal/serve/ -run TestGoldenResponses -update
+func TestGoldenResponses(t *testing.T) {
+	s := newTestServer(t, nil)
+	cases := []struct {
+		name, path string
+	}{
+		// Greedy max-spread is fully deterministic: stable pool order,
+		// first-argmax tie-breaks.
+		{"best_spread_n5.json", "/api/ensemble/best?n=5"},
+		// The corpus listing in stable load order, filtered to one
+		// algorithm to keep the file reviewable.
+		{"runs_pr.json", "/api/runs?algorithm=PR"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := get(t, s, c.path)
+			if w.Code != http.StatusOK {
+				t.Fatalf("GET %s: status = %d: %s", c.path, w.Code, w.Body.String())
+			}
+			goldenPath := filepath.Join("testdata", c.name)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, w.Body.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(w.Body.Bytes(), want) {
+				t.Errorf("GET %s diverged from %s;\nre-run with -update if the change is intended.\ngot:\n%s",
+					c.path, goldenPath, clip(w.Body.Bytes(), 2000))
+			}
+		})
+	}
+}
+
+// clip truncates b for readable failure output.
+func clip(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return append(append([]byte{}, b[:n]...), []byte("…")...)
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/behavior"
+	"gcbench/internal/corpus"
+	"gcbench/internal/predict"
+)
+
+// runSummary is the per-run payload of /api/runs and ensemble member
+// lists. Raw is the measured per-edge vector; Behavior is the
+// max-normalized point in the full corpus space (coordinates in [0,1]).
+type runSummary struct {
+	Key        string           `json:"key"`
+	ID         string           `json:"id,omitempty"`
+	Algorithm  string           `json:"algorithm"`
+	Domain     string           `json:"domain,omitempty"`
+	SizeLabel  string           `json:"sizeLabel"`
+	Alpha      float64          `json:"alpha,omitempty"`
+	NumEdges   int64            `json:"numEdges,omitempty"`
+	Iterations int              `json:"iterations,omitempty"`
+	Converged  bool             `json:"converged,omitempty"`
+	Status     string           `json:"status"`
+	Error      string           `json:"error,omitempty"`
+	Raw        *behavior.Vector `json:"raw,omitempty"`
+	Behavior   *behavior.Vector `json:"behavior,omitempty"`
+}
+
+func summarize(snap *corpus.Snapshot, recIdx int) runSummary {
+	rec := &snap.Records[recIdx]
+	out := runSummary{
+		Key:       rec.Key,
+		Algorithm: rec.Algorithm,
+		SizeLabel: rec.SizeLabel,
+		Alpha:     rec.Alpha,
+		Status:    string(rec.Status),
+		Error:     rec.Err,
+	}
+	if rec.Run != nil {
+		out.ID = rec.Run.ID()
+		out.Domain = rec.Run.Domain
+		out.NumEdges = rec.Run.NumEdges
+		out.Iterations = rec.Run.Iterations
+		out.Converged = rec.Run.Converged
+		raw := rec.Run.Raw
+		out.Raw = &raw
+		if si := snap.SpaceIndexOf(recIdx); si >= 0 {
+			pt := snap.Space.Point(si)
+			out.Behavior = &pt
+		}
+	}
+	return out
+}
+
+// parseFilter reads the shared algorithm/size/alpha/status query
+// parameters (repeatable and comma-splittable).
+func parseFilter(r *http.Request) (corpus.Filter, error) {
+	var f corpus.Filter
+	q := r.URL.Query()
+	f.Algorithms = splitParams(q["algorithm"])
+	f.Sizes = splitParams(q["size"])
+	for _, a := range splitParams(q["alpha"]) {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return f, errInvalidf("alpha %q is not a number", a)
+		}
+		f.Alphas = append(f.Alphas, v)
+	}
+	for _, st := range splitParams(q["status"]) {
+		switch behavior.RunStatus(st) {
+		case behavior.StatusOK, behavior.StatusFailed, behavior.StatusTimeout,
+			behavior.StatusCancelled, behavior.StatusSkipped:
+			f.Statuses = append(f.Statuses, behavior.RunStatus(st))
+		default:
+			return f, errInvalidf("unknown status %q", st)
+		}
+	}
+	return f, nil
+}
+
+// splitParams flattens repeated query parameters and comma lists.
+func splitParams(vals []string) []string {
+	var out []string
+	for _, v := range vals {
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+// handleRuns serves GET /api/runs: the filtered corpus listing in stable
+// load order.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	f, err := parseFilter(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	idx := snap.Select(f)
+	runs := make([]runSummary, 0, len(idx))
+	for _, i := range idx {
+		runs = append(runs, summarize(snap, i))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpusVersion": snap.Version,
+		"count":         len(runs),
+		"runs":          runs,
+	})
+}
+
+// behaviorDetail extends runSummary with the full activity series and
+// the pool-normalized point used by ensemble design.
+type behaviorDetail struct {
+	runSummary
+	ActiveFraction []float64        `json:"activeFraction,omitempty"`
+	PoolBehavior   *behavior.Vector `json:"poolBehavior,omitempty"`
+}
+
+// handleBehavior serves GET /api/behavior/{key}: one run's complete
+// record.
+func (s *Server) handleBehavior(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	key := r.PathValue("key")
+	i, ok := snap.Lookup(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no corpus record with key %q", key)
+		return
+	}
+	det := behaviorDetail{runSummary: summarize(snap, i)}
+	rec := &snap.Records[i]
+	if rec.Run != nil {
+		det.ActiveFraction = rec.Run.ActiveFraction
+		for pi := 0; pi < snap.PoolSize(); pi++ {
+			if snap.PoolRecord(pi).Key == key {
+				pt := snap.Pool.Point(pi)
+				det.PoolBehavior = &pt
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpusVersion": snap.Version,
+		"run":           det,
+	})
+}
+
+// handlePredict serves GET /api/predict: §7 behavior interpolation for
+// an <algorithm, edges, alpha> query.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	q := r.URL.Query()
+	algName, err := algorithms.Parse(q.Get("algorithm"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	edges, err := strconv.ParseInt(q.Get("edges"), 10, 64)
+	if err != nil || edges <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request", "edges must be a positive integer, got %q", q.Get("edges"))
+		return
+	}
+	alpha := 0.0
+	if a := q.Get("alpha"); a != "" {
+		alpha, err = strconv.ParseFloat(a, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_request", "alpha %q is not a number", a)
+			return
+		}
+	}
+	p, err := snap.Predictor()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "no_corpus", "%v", err)
+		return
+	}
+	pred, err := p.Predict(predict.Query{Algorithm: string(algName), NumEdges: edges, Alpha: alpha})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpusVersion": snap.Version,
+		"query": map[string]any{
+			"algorithm": string(algName), "edges": edges, "alpha": alpha,
+		},
+		"raw":        pred.Raw,
+		"iterations": pred.Iterations,
+		"support":    pred.Support,
+	})
+}
+
+// handleCorpusInfo serves GET /api/corpus: snapshot metadata.
+func (s *Server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	byStatus := map[string]int{}
+	for i := range snap.Records {
+		byStatus[string(snap.Records[i].Status)]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpusVersion": snap.Version,
+		"source":        snap.Source,
+		"loadedAt":      snap.LoadedAt,
+		"records":       len(snap.Records),
+		"okRuns":        snap.OKCount(),
+		"poolSize":      snap.PoolSize(),
+		"byStatus":      byStatus,
+	})
+}
+
+// handleReload serves POST /api/corpus/reload: re-reads the snapshot's
+// source file and atomically publishes the new version. Running requests
+// keep their old snapshot; the response reports the new version.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload_failed", "%v", err)
+		return
+	}
+	// Design cache keys embed the corpus version, so stale entries can
+	// never serve a new-version request; purge simply returns the memory.
+	s.cache.Purge()
+	s.mReloads.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpusVersion": snap.Version,
+		"source":        snap.Source,
+		"records":       len(snap.Records),
+		"okRuns":        snap.OKCount(),
+		"poolSize":      snap.PoolSize(),
+	})
+}

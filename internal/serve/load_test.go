@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLoadSmoke is the CI load-smoke: a real listening server over
+// the shipped standard corpus, a burst of mixed concurrent traffic, and
+// two assertions — zero 5xx responses, and p99 latency under a bound
+// generous enough for a loaded CI machine yet tight enough to catch a
+// lost-wakeup or lock-convoy regression.
+func TestServeLoadSmoke(t *testing.T) {
+	s := newTestServer(t, nil)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	const (
+		clients     = 8
+		perClient   = 20
+		p99Bound    = 5 * time.Second
+		totalBudget = 60 * time.Second
+	)
+	base := s.URL()
+	client := &http.Client{Timeout: totalBudget}
+
+	// A mixed request schedule: listings, point lookups, predictions,
+	// and a handful of distinct design searches that exercise cache,
+	// coalescing, and the worker pool together.
+	do := func(i int) (*http.Response, error) {
+		switch i % 5 {
+		case 0:
+			return client.Get(base + "/api/runs?algorithm=PR,CC")
+		case 1:
+			return client.Get(base + "/api/behavior/PR_1e5_a2.5")
+		case 2:
+			return client.Get(base + "/api/predict?algorithm=CC&edges=250000&alpha=2.5")
+		case 3:
+			return client.Get(base + fmt.Sprintf("/api/ensemble/best?n=%d", 3+i%4))
+		default:
+			body := fmt.Sprintf(`{"n": %d, "method": "exchange"}`, 2+i%4)
+			return client.Post(base+"/api/ensemble/design", "application/json", strings.NewReader(body))
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		server5xx int
+		failures  []string
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				begin := time.Now()
+				resp, err := do(c*perClient + i)
+				elapsed := time.Since(begin)
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, err.Error())
+				} else {
+					latencies = append(latencies, elapsed)
+					if resp.StatusCode >= 500 {
+						server5xx++
+					}
+				}
+				mu.Unlock()
+				if err == nil {
+					discardBody(resp)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(failures) > 0 {
+		t.Fatalf("%d transport failures, first: %s", len(failures), failures[0])
+	}
+	if server5xx > 0 {
+		t.Fatalf("%d responses with 5xx status under load", server5xx)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100-1]
+	t.Logf("requests=%d p50=%v p99=%v searches=%d",
+		len(latencies), latencies[len(latencies)/2], p99, s.Searches())
+	if p99 > p99Bound {
+		t.Fatalf("p99 latency %v exceeds %v", p99, p99Bound)
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"gcbench/internal/obs"
+)
+
+// errSaturated is returned by workPool.acquire when the design queue is
+// at capacity; the HTTP layer maps it to 429 + Retry-After. Shedding at
+// admission keeps goroutine count and queue latency bounded no matter
+// how hard clients push.
+var errSaturated = errors.New("serve: design queue saturated")
+
+// workPool bounds concurrent ensemble searches (the CPU-heavy part of
+// the API) to a fixed worker count with a bounded admission queue.
+// Requests beyond workers+queue are shed immediately rather than piling
+// up goroutines behind the semaphore.
+type workPool struct {
+	sem      chan struct{}
+	pending  atomic.Int64 // requests holding or waiting for a slot
+	capacity int64        // workers + queue depth
+	depth    *obs.Gauge
+	inflight *obs.Gauge
+}
+
+func newWorkPool(workers, queueDepth int, reg *obs.Registry) *workPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &workPool{
+		sem:      make(chan struct{}, workers),
+		capacity: int64(workers + queueDepth),
+		depth: reg.Gauge("gcbench_serve_queue_depth",
+			"Design requests holding or waiting for a search worker slot."),
+		inflight: reg.Gauge("gcbench_serve_inflight_searches",
+			"Ensemble searches currently executing."),
+	}
+}
+
+// acquire admits the caller to the pool, blocking until a worker slot
+// frees or ctx expires. Returns errSaturated without blocking when
+// admission would exceed the pool's bounded queue.
+func (p *workPool) acquire(ctx context.Context) error {
+	if n := p.pending.Add(1); n > p.capacity {
+		p.pending.Add(-1)
+		return errSaturated
+	}
+	p.depth.Set(float64(p.pending.Load()))
+	select {
+	case p.sem <- struct{}{}:
+		p.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		p.pending.Add(-1)
+		p.depth.Set(float64(p.pending.Load()))
+		return ctx.Err()
+	}
+}
+
+// release returns the caller's worker slot.
+func (p *workPool) release() {
+	<-p.sem
+	p.inflight.Add(-1)
+	p.pending.Add(-1)
+	p.depth.Set(float64(p.pending.Load()))
+}
+
+// Pending returns the number of admitted design requests (running plus
+// queued) — the /statusz payload's live load signal.
+func (p *workPool) Pending() int64 { return p.pending.Load() }

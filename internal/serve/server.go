@@ -1,0 +1,354 @@
+// Package serve is the ensemble-design-as-a-service layer: a JSON HTTP
+// API over an atomically hot-reloadable behavior corpus
+// (internal/corpus), engineered for concurrent load.
+//
+//	GET  /api/runs             filterable corpus listing
+//	GET  /api/behavior/{key}   one run's full behavior record
+//	POST /api/ensemble/design  design an ensemble under pool restrictions
+//	GET  /api/ensemble/best    canonical best ensemble for (n, metric)
+//	GET  /api/predict          §7 behavior interpolation
+//	GET  /api/corpus           corpus snapshot metadata
+//	POST /api/corpus/reload    hot-swap the corpus from its source file
+//
+// plus the shared observability surface (/metrics, /statusz, /healthz,
+// /debug/pprof/*, /debug/vars) registered via obs.RegisterRoutes.
+//
+// Concurrency engineering, in request order: an LRU response cache keyed
+// by canonicalized request (byte-identical replays), singleflight
+// coalescing of identical in-flight design searches, a bounded worker
+// pool whose admission queue sheds excess load with 429 + Retry-After,
+// and per-request deadlines plumbed as context.Context into the ensemble
+// search loops so an expired request aborts within one search step. The
+// 10^6-sample Monte-Carlo coverage estimator is built once, lazily, and
+// shared by every request. Shutdown drains in-flight requests.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcbench/internal/corpus"
+	"gcbench/internal/ensemble"
+	"gcbench/internal/obs"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store supplies corpus snapshots; required.
+	Store *corpus.Store
+	// Samples sizes the shared Monte-Carlo coverage estimator
+	// (default ensemble.DefaultSamples, the paper's 10^6).
+	Samples int
+	// SampleSeed seeds the estimator (default 0x5eed, matching the
+	// figures pipeline so served scores agree with `gcbench figures`).
+	SampleSeed uint64
+	// Workers bounds concurrent ensemble searches (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds design requests waiting for a worker before the
+	// server sheds load with 429 (default 64).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline plumbed into search
+	// loops (default 30s).
+	RequestTimeout time.Duration
+	// CacheSize bounds the design-response LRU (default 256 entries).
+	CacheSize int
+	// Registry receives the gcbench_serve_* metrics (default obs.Default()).
+	Registry *obs.Registry
+}
+
+// Server is the ensemble-design API server. Construct with New; the
+// zero value is not usable.
+type Server struct {
+	cfg   Config
+	store *corpus.Store
+	reg   *obs.Registry
+
+	covOnce sync.Once
+	cov     *ensemble.CoverageEstimator
+	covErr  error
+
+	cache  *lruCache
+	flight *flightGroup
+	pool   *workPool
+
+	handler http.Handler
+	start   time.Time
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	ln      net.Listener
+
+	draining atomic.Bool
+
+	// searches counts underlying ensemble searches executed (not
+	// coalesced, not cached) — the concurrency tests' ground truth.
+	searches atomic.Int64
+	// searchDelay is a test hook: extra latency inside the worker slot,
+	// honoring cancellation, to make queue saturation reproducible.
+	searchDelay time.Duration
+
+	mRequests  *obs.Counter
+	mLatency   *obs.Histogram
+	mDesignLat *obs.Histogram
+	mCacheHit  *obs.Counter
+	mCacheMiss *obs.Counter
+	mCoalesced *obs.Counter
+	mShed      *obs.Counter
+	mErrors    *obs.Counter
+	mSearches  *obs.Counter
+	mReloads   *obs.Counter
+}
+
+// latencyBuckets spans sub-millisecond cache hits to multi-second cold
+// coverage searches.
+var latencyBuckets = []float64{.0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60}
+
+// New builds a Server from cfg, applying defaults. The coverage
+// estimator is not built here — the first coverage-metric request pays
+// that cost once, and spread-only deployments never do.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = ensemble.DefaultSamples
+	}
+	if cfg.SampleSeed == 0 {
+		cfg.SampleSeed = 0x5eed
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	reg := cfg.Registry
+	s := &Server{
+		cfg:    cfg,
+		store:  cfg.Store,
+		reg:    reg,
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		pool:   newWorkPool(cfg.Workers, cfg.QueueDepth, reg),
+		start:  time.Now(),
+
+		mRequests: reg.Counter("gcbench_serve_requests_total", "API requests served."),
+		mLatency: reg.Histogram("gcbench_serve_request_seconds",
+			"API request latency in seconds.", latencyBuckets),
+		mDesignLat: reg.Histogram("gcbench_serve_design_seconds",
+			"Underlying ensemble-search latency in seconds (cache misses only).", latencyBuckets),
+		mCacheHit:  reg.Counter("gcbench_serve_cache_hits_total", "Design responses served from the LRU cache."),
+		mCacheMiss: reg.Counter("gcbench_serve_cache_misses_total", "Design requests that missed the LRU cache."),
+		mCoalesced: reg.Counter("gcbench_serve_coalesced_total", "Design requests coalesced onto an identical in-flight search."),
+		mShed:      reg.Counter("gcbench_serve_shed_total", "Design requests shed with 429 because the queue was full."),
+		mErrors:    reg.Counter("gcbench_serve_errors_total", "API responses with a 5xx status."),
+		mSearches:  reg.Counter("gcbench_serve_searches_total", "Underlying ensemble searches executed."),
+		mReloads:   reg.Counter("gcbench_serve_corpus_reloads_total", "Corpus hot-reloads."),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/runs", s.handleRuns)
+	mux.HandleFunc("GET /api/behavior/{key}", s.handleBehavior)
+	mux.HandleFunc("POST /api/ensemble/design", s.handleDesign)
+	mux.HandleFunc("GET /api/ensemble/best", s.handleBest)
+	mux.HandleFunc("GET /api/predict", s.handlePredict)
+	mux.HandleFunc("GET /api/corpus", s.handleCorpusInfo)
+	mux.HandleFunc("POST /api/corpus/reload", s.handleReload)
+	obs.RegisterRoutes(mux, obs.ServerOptions{
+		Registry: reg,
+		Status:   func() any { return s.Status() },
+	})
+	s.handler = s.instrument(mux)
+	return s, nil
+}
+
+// estimator returns the shared coverage estimator, building it on first
+// use (one Monte-Carlo sample pool for the whole process lifetime).
+func (s *Server) estimator() (*ensemble.CoverageEstimator, error) {
+	s.covOnce.Do(func() {
+		s.cov, s.covErr = ensemble.NewCoverageEstimator(s.cfg.Samples, s.cfg.SampleSeed)
+	})
+	return s.cov, s.covErr
+}
+
+// Handler returns the server's full HTTP handler (API + observability
+// routes), usable with httptest or a caller-owned http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request accounting and the per-request
+// deadline every downstream search loop inherits.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		s.mRequests.Inc()
+		s.mLatency.Observe(time.Since(begin).Seconds())
+		if rec.status >= 500 {
+			s.mErrors.Inc()
+		}
+	})
+}
+
+// Status is the /statusz payload: a cheap point-in-time snapshot of the
+// serving state.
+func (s *Server) Status() map[string]any {
+	snap := s.store.Snapshot()
+	st := map[string]any{
+		"service":       "gcbench-serve",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"draining":      s.draining.Load(),
+		"cacheEntries":  s.cache.Len(),
+		"designPending": s.pool.Pending(),
+		"workers":       s.cfg.Workers,
+		"queueDepth":    s.cfg.QueueDepth,
+		"searches":      s.searches.Load(),
+	}
+	if snap != nil {
+		st["corpusVersion"] = snap.Version
+		st["corpusSource"] = snap.Source
+		st["records"] = len(snap.Records)
+		st["okRuns"] = snap.OKCount()
+		st["poolSize"] = snap.PoolSize()
+	}
+	return st
+}
+
+// Start binds addr (":0" picks a free port) and serves until Shutdown.
+// It returns once the listener is bound, so Addr is immediately usable.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.ln, s.httpSrv = ln, srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown stops accepting connections and drains in-flight requests —
+// including design searches holding worker slots — until they finish or
+// ctx expires. Safe to call without a prior Start (no-op).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Close stops the server immediately without draining.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Searches returns how many underlying ensemble searches have executed —
+// exposed for tests asserting singleflight and cache behavior.
+func (s *Server) Searches() int64 { return s.searches.Load() }
+
+// apiError is the structured error body every non-2xx API response
+// carries.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits a structured JSON error with the given status.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: apiErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeJSON emits v as indented JSON (indented so golden files and curl
+// output stay human-readable).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding_failed", "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// jsonSafe clamps NaN/Inf to JSON-encodable values (coverage is +Inf in
+// the degenerate all-samples-on-members case; JSON has no Inf literal).
+func jsonSafe(f float64) float64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case math.IsInf(f, 1):
+		return math.MaxFloat64
+	case math.IsInf(f, -1):
+		return -math.MaxFloat64
+	}
+	return f
+}

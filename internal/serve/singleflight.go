@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller (the leader) runs fn, every concurrent
+// duplicate waits for the leader's result. A minimal, dependency-free
+// take on the x/sync singleflight pattern, specialized to byte payloads
+// and context-aware waiting: a follower whose context expires stops
+// waiting without cancelling the leader.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn once per concurrent set of callers sharing key.
+// coalesced reports whether this caller waited on another's execution.
+// The leader runs fn synchronously under its own context; followers
+// select between the leader's completion and their own ctx.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, err error, coalesced bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	// Unregister before signalling completion: any caller arriving after
+	// the delete re-reads the result cache (populated by fn before it
+	// returns), so no search runs twice for a key that already finished.
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

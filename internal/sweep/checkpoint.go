@@ -24,8 +24,8 @@ type JournalEntry struct {
 	Spec   Spec               `json:"spec"`
 	Status behavior.RunStatus `json:"status"`
 	// Attempts and DurationMs mirror the RunResult accounting.
-	Attempts   int    `json:"attempts"`
-	DurationMs int64  `json:"durationMs"`
+	Attempts   int           `json:"attempts"`
+	DurationMs int64         `json:"durationMs"`
 	Err        string        `json:"error,omitempty"`
 	Run        *behavior.Run `json:"run,omitempty"`
 	// Provenance carries the run's execution environment and start/end
