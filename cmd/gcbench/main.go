@@ -109,9 +109,15 @@ func cmdSweep(args []string) error {
 	resume := fs.String("resume", "", "resume from this journal, skipping its completed runs")
 	faultRate := fs.Float64("faultrate", 0, "deterministic fault-injection rate in [0,1] (testing only)")
 	faultSeed := fs.Uint64("faultseed", 1, "seed for -faultrate injection")
+	frontierFlag := fs.String("frontier", "auto", "engine frontier schedule: auto | dense | sparse (behavior metrics are identical across modes)")
 	fs.Parse(args)
 	vb.setup()
 	quiet := vb.quiet
+
+	frontier, err := gcbench.ParseFrontierMode(*frontierFlag)
+	if err != nil {
+		return err
+	}
 
 	specs, err := gcbench.BuildPlan(gcbench.Profile(*profile), *seed)
 	if err != nil {
@@ -154,6 +160,7 @@ func cmdSweep(args []string) error {
 		Timeout: *timeout, Retries: *retries, RetryBackoff: *backoff,
 		Journal:     journal,
 		InjectFault: gcbench.FaultRate(*faultRate, *faultSeed),
+		Frontier:    frontier,
 	}
 
 	// -listen attaches the observability surface to this campaign: the
@@ -226,11 +233,16 @@ func cmdRun(args []string) error {
 	rows := fs.Int("rows", 1000, "matrix rows / grid side (Jacobi, LBP)")
 	seed := fs.Uint64("seed", 1, "graph seed")
 	tracefile := fs.String("tracefile", "", "write the run's phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+	frontierFlag := fs.String("frontier", "auto", "engine frontier schedule: auto | dense | sparse (behavior metrics are identical across modes)")
 	vb := verbosityFlags(fs)
 	fs.Parse(args)
 	vb.setup()
 
 	name, err := gcbench.ParseAlgorithm(*alg)
+	if err != nil {
+		return err
+	}
+	frontier, err := gcbench.ParseFrontierMode(*frontierFlag)
 	if err != nil {
 		return err
 	}
@@ -247,7 +259,7 @@ func cmdRun(args []string) error {
 		spec.Alpha = *alpha
 		spec.SizeLabel = fmt.Sprint(*edges)
 	}
-	r, tr, err := gcbench.RunSpecTrace(context.Background(), spec, 0)
+	r, tr, err := gcbench.RunSpecTrace(context.Background(), spec, 0, frontier)
 	if err != nil {
 		return err
 	}

@@ -105,6 +105,22 @@ var (
 // AlgorithmOptions configures any algorithm run.
 type AlgorithmOptions = algorithms.Options
 
+// FrontierMode selects the engine's active-set scheduling strategy:
+// adaptive (default), always-dense bitset scans, or always-sparse
+// compacted-frontier slices. The paper's behavior metrics are identical
+// across modes by construction; only execution speed differs.
+type FrontierMode = algorithms.FrontierMode
+
+// Frontier scheduling modes.
+const (
+	FrontierAuto   = algorithms.FrontierAuto
+	FrontierDense  = algorithms.FrontierDense
+	FrontierSparse = algorithms.FrontierSparse
+)
+
+// ParseFrontierMode resolves a case-insensitive -frontier flag value.
+var ParseFrontierMode = algorithms.ParseFrontierMode
+
 // Output bundles a run's behavior trace and summary statistics.
 type Output = algorithms.Output
 

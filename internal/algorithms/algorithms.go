@@ -37,10 +37,27 @@ type Options struct {
 	// next engine iteration barrier (used by sweep campaigns for per-run
 	// timeouts and campaign-wide cancellation).
 	Context context.Context
+	// Frontier selects the engine's active-set scheduling strategy. The
+	// zero value is FrontierAuto. The behavior metrics the paper defines
+	// are identical across modes; only execution speed differs.
+	Frontier FrontierMode
 }
 
+// FrontierMode selects dense, sparse or adaptive active-set scheduling.
+type FrontierMode = engine.FrontierMode
+
+// Frontier scheduling modes.
+const (
+	FrontierAuto   = engine.FrontierAuto
+	FrontierDense  = engine.FrontierDense
+	FrontierSparse = engine.FrontierSparse
+)
+
+// ParseFrontierMode resolves a case-insensitive -frontier flag value.
+var ParseFrontierMode = engine.ParseFrontierMode
+
 func (o Options) engineOptions() engine.Options {
-	return engine.Options{Workers: o.Workers, MaxIterations: o.MaxIterations, Context: o.Context}
+	return engine.Options{Workers: o.Workers, MaxIterations: o.MaxIterations, Context: o.Context, Frontier: o.Frontier}
 }
 
 // Output bundles a run's behavior trace with algorithm-specific summary

@@ -44,6 +44,11 @@ var (
 	metricApplySec   = obs.Default().Counter("gcbench_engine_apply_seconds_total", "Wall-clock seconds in apply phases.")
 	metricScatterSec = obs.Default().Counter("gcbench_engine_scatter_seconds_total", "Wall-clock seconds in scatter phases.")
 	metricBarrierSec = obs.Default().Counter("gcbench_engine_barrier_seconds_total", "Wall-clock seconds outside the three phases (hooks, frontier bookkeeping).")
+
+	// Frontier scheduling metrics (see frontier.go).
+	metricFrontierPhases = obs.Default().Counter("gcbench_engine_frontier_mode_total", "Frontier scheduling decisions made (one per phase executed; sparse share in gcbench_engine_frontier_sparse_phases_total).")
+	metricFrontierSparse = obs.Default().Counter("gcbench_engine_frontier_sparse_phases_total", "Phases executed in sparse (compacted frontier) mode.")
+	metricFrontierSwitch = obs.Default().Counter("gcbench_engine_frontier_switches_total", "Dense<->sparse schedule flips between consecutive iterations of a run.")
 )
 
 // Direction selects which adjacent edges a phase visits.
@@ -163,6 +168,11 @@ type Options struct {
 	// is cooperative — a run is never interrupted mid-phase, so the trace
 	// is always phase-consistent up to the barrier it stopped at.
 	Context context.Context
+	// Frontier selects the active-set scheduling strategy (see
+	// frontier.go). The zero value is FrontierAuto. The paper's behavior
+	// counters (UPDT, EREAD, MSG, active fraction) are identical across
+	// modes by construction; only wall times and worker attribution vary.
+	Frontier FrontierMode
 }
 
 // DefaultMaxIterations bounds runs whose convergence criterion never
@@ -196,16 +206,17 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 	}
 
 	e := &engine[S, A]{
-		g:        g,
-		p:        p,
-		workers:  workers,
-		state:    make([]S, n),
-		acc:      make([]A, n),
-		hasAcc:   make([]bool, n),
-		cur:      newBitset(n),
-		next:     newBitset(n),
-		gatherD:  normalizeDir(g, p.GatherDirection()),
-		scatterD: normalizeDir(g, p.ScatterDirection()),
+		g:         g,
+		p:         p,
+		workers:   workers,
+		state:     make([]S, n),
+		acc:       make([]A, n),
+		hasAcc:    make([]bool, n),
+		cur:       newBitset(n),
+		next:      newBitset(n),
+		gatherD:   normalizeDir(g, p.GatherDirection()),
+		scatterD:  normalizeDir(g, p.ScatterDirection()),
+		frontierM: opt.Frontier,
 	}
 
 	// Initialize states and the initial frontier.
@@ -227,8 +238,9 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 	}
 	metricRuns.Inc()
 
+	prevSparse := false
 	for iter := 0; iter < maxIter; iter++ {
-		active := e.cur.Count()
+		active := e.countAndPlan()
 		if active == 0 {
 			tr.Converged = true
 			break
@@ -243,18 +255,23 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 		e.iter = iter
 		start := time.Now()
 
+		if iter > 0 && e.sparseIter != prevSparse {
+			metricFrontierSwitch.Inc()
+		}
+		prevSparse = e.sparseIter
+
 		if pre != nil {
 			pre.PreIteration(ctl)
 		}
 
 		gStart := time.Now()
-		edgeReads, gatherBusy := e.gatherPhase()
+		edgeReads, gatherBusy, gatherMode := e.gatherPhase()
 		gatherWall := time.Since(gStart)
 		aStart := time.Now()
-		updates, applyTime, applyBusy := e.applyPhase()
+		updates, applyTime, applyBusy, applyMode := e.applyPhase()
 		applyWall := time.Since(aStart)
 		sStart := time.Now()
-		messages, scatterBusy := e.scatterPhase()
+		messages, scatterBusy, scatterMode := e.scatterPhase()
 		scatterWall := time.Since(sStart)
 
 		halt := false
@@ -286,6 +303,9 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 			ScatterWall: scatterWall,
 			BarrierTime: wall - gatherWall - applyWall - scatterWall,
 			WorkerSpans: spans,
+			GatherMode:  gatherMode,
+			ApplyMode:   applyMode,
+			ScatterMode: scatterMode,
 		})
 
 		metricIterations.Inc()
@@ -297,9 +317,17 @@ func Run[S, A any](g *graph.Graph, p Program[S, A], opt Options) (*Result[S], er
 		metricScatterSec.Add(scatterWall.Seconds())
 		metricBarrierSec.Add((wall - gatherWall - applyWall - scatterWall).Seconds())
 
-		// Swap frontiers.
+		// Swap frontiers. A compacted iteration knows exactly which words
+		// of the outgoing frontier were set (nothing touches cur
+		// mid-iteration), so it clears those instead of the whole bitset.
 		e.cur, e.next = e.next, e.cur
-		e.next.Clear()
+		if e.sparseIter {
+			for _, v := range e.frontier {
+				e.next.words[v>>6] = 0
+			}
+		} else {
+			e.next.Clear()
+		}
 
 		if halt {
 			tr.Converged = true
@@ -332,6 +360,15 @@ type engine[S, A any] struct {
 	gatherD  Direction
 	scatterD Direction
 	iter     int
+
+	// Frontier scheduling state (frontier.go). The buffers are reused
+	// across iterations and grow monotonically.
+	frontierM  FrontierMode
+	sparseIter bool     // this iteration has a compacted frontier
+	frontier   []uint32 // sorted active vertices (valid when sparseIter)
+	chunkOff   []int64  // per-chunk compaction offsets
+	prefix     []int64  // per-phase degree prefix sums over frontier
+	bounds     []int    // per-phase edge-balanced slice boundaries
 }
 
 // Control plumbing (untyped so Control[S] needs no second type parameter).
@@ -346,14 +383,25 @@ func (e *engine[S, A]) nextCount() int64       { return e.next.Count() }
 // (multiple of 64) so concurrent bitset scans never share a word.
 const chunkSize = 4096
 
-// parallelChunks deals word-aligned vertex chunks to workers through an
+// parallelDeal deals task indices [0, numTasks) to workers through an
 // atomic cursor (hub vertices in power-law graphs make static partitions
-// imbalanced) and calls fn once per chunk.
-func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
-	n := uint32(e.g.NumVertices())
-	numChunks := (int64(n) + chunkSize - 1) / chunkSize
-	if e.workers == 1 || numChunks == 1 {
-		fn(0, 0, n)
+// imbalanced). It spawns min(workers, numTasks) goroutines — small graphs
+// under high Workers must not pay goroutine startup for chunks that do
+// not exist — and runs serially when one suffices. Worker indices passed
+// to task are always < e.workers, so callers size per-worker arrays at
+// e.workers regardless of how many goroutines actually spawn.
+func (e *engine[S, A]) parallelDeal(numTasks int64, task func(worker int, t int64)) {
+	if numTasks <= 0 {
+		return
+	}
+	spawn := e.workers
+	if int64(spawn) > numTasks {
+		spawn = int(numTasks)
+	}
+	if spawn <= 1 {
+		for t := int64(0); t < numTasks; t++ {
+			task(0, t)
+		}
 		return
 	}
 	var cursor atomic.Int64
@@ -363,7 +411,7 @@ func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
 	// goroutine so campaign-level recover() can isolate the failed run.
 	type capturedPanic struct{ value any }
 	var panicked atomic.Pointer[capturedPanic]
-	for w := 0; w < e.workers; w++ {
+	for w := 0; w < spawn; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
@@ -373,16 +421,11 @@ func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
 				}
 			}()
 			for {
-				c := cursor.Add(1) - 1
-				if c >= numChunks || panicked.Load() != nil {
+				t := cursor.Add(1) - 1
+				if t >= numTasks || panicked.Load() != nil {
 					return
 				}
-				lo := uint32(c * chunkSize)
-				hi := lo + chunkSize
-				if hi > n {
-					hi = n
-				}
-				fn(worker, lo, hi)
+				task(worker, t)
 			}
 		}(w)
 	}
@@ -392,95 +435,87 @@ func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
 	}
 }
 
-// parallelOverActive runs fn(worker, v) for every active vertex.
-func (e *engine[S, A]) parallelOverActive(fn func(worker int, v uint32)) {
-	e.parallelChunks(func(worker int, lo, hi uint32) {
-		e.cur.Range(lo, hi, func(v uint32) { fn(worker, v) })
+// parallelChunks deals word-aligned vertex chunks to workers and calls fn
+// once per chunk — the dense-scan schedule.
+func (e *engine[S, A]) parallelChunks(fn func(worker int, lo, hi uint32)) {
+	n := uint32(e.g.NumVertices())
+	numChunks := (int64(n) + chunkSize - 1) / chunkSize
+	e.parallelDeal(numChunks, func(worker int, c int64) {
+		lo := uint32(c * chunkSize)
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		fn(worker, lo, hi)
 	})
 }
 
 // gatherPhase runs Gather+Sum per active vertex and stores accumulators.
-// Returns the total edge reads and per-worker busy time (chunk-granular,
-// like applyPhase, so the span instrumentation never pays a clock read
-// per vertex).
-func (e *engine[S, A]) gatherPhase() (int64, []time.Duration) {
+// Returns the total edge reads, per-worker busy time (granule-level
+// timing — chunk or slice — so the span instrumentation never pays a
+// clock read per vertex) and the schedule mode executed.
+func (e *engine[S, A]) gatherPhase() (int64, []time.Duration, string) {
 	busy := make([]time.Duration, e.workers)
 	if e.gatherD == None {
 		// Still reset hasAcc for active vertices so Apply sees hasAcc=false.
-		e.parallelOverActive(func(_ int, v uint32) { e.hasAcc[v] = false })
-		return 0, busy
+		mode := e.forActive(None, busy, func(_ int, v uint32) { e.hasAcc[v] = false })
+		return 0, busy, mode
 	}
 	reads := make([]int64, e.workers)
-	e.parallelChunks(func(worker int, lo, hi uint32) {
-		t0 := time.Now()
-		visited := 0
-		e.cur.Range(lo, hi, func(v uint32) {
-			var acc A
-			has := false
-			self := e.state[v]
-			r := int64(0)
-			if e.gatherD == Out || e.gatherD == Both {
-				lo, hi := e.g.OutArcRange(v)
-				for a := lo; a < hi; a++ {
-					arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
-					contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
-					if has {
-						acc = e.p.Sum(acc, contrib)
-					} else {
-						acc, has = contrib, true
-					}
-					r++
+	mode := e.forActive(e.gatherD, busy, func(worker int, v uint32) {
+		var acc A
+		has := false
+		self := e.state[v]
+		r := int64(0)
+		if e.gatherD == Out || e.gatherD == Both {
+			lo, hi := e.g.OutArcRange(v)
+			for a := lo; a < hi; a++ {
+				arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
+				contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
+				if has {
+					acc = e.p.Sum(acc, contrib)
+				} else {
+					acc, has = contrib, true
 				}
+				r++
 			}
-			if e.gatherD == In || e.gatherD == Both {
-				lo, hi := e.g.InArcRange(v)
-				for a := lo; a < hi; a++ {
-					out := e.g.InArcToOutArc(a)
-					arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
-					contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
-					if has {
-						acc = e.p.Sum(acc, contrib)
-					} else {
-						acc, has = contrib, true
-					}
-					r++
-				}
-			}
-			e.acc[v] = acc
-			e.hasAcc[v] = has
-			reads[worker] += r
-			visited++
-		})
-		if visited > 0 {
-			busy[worker] += time.Since(t0)
 		}
+		if e.gatherD == In || e.gatherD == Both {
+			lo, hi := e.g.InArcRange(v)
+			for a := lo; a < hi; a++ {
+				out := e.g.InArcToOutArc(a)
+				arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
+				contrib := e.p.Gather(v, arc, self, e.state[arc.Other])
+				if has {
+					acc = e.p.Sum(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+				r++
+			}
+		}
+		e.acc[v] = acc
+		e.hasAcc[v] = has
+		reads[worker] += r
 	})
 	var total int64
 	for _, r := range reads {
 		total += r
 	}
-	return total, busy
+	return total, busy, mode
 }
 
-// applyPhase runs Apply per active vertex. Each worker times its chunk
+// applyPhase runs Apply per active vertex. Each worker times its granule
 // loops so WORK approximates CPU time in the user apply function without
 // paying a clock read per vertex. Returns the update count, summed apply
-// time (the WORK numerator — per-worker busy, not phase wall), and the
-// per-worker busy breakdown.
-func (e *engine[S, A]) applyPhase() (int64, time.Duration, []time.Duration) {
+// time (the WORK numerator — per-worker busy, not phase wall), the
+// per-worker busy breakdown and the schedule mode executed.
+func (e *engine[S, A]) applyPhase() (int64, time.Duration, []time.Duration, string) {
 	updates := make([]int64, e.workers)
 	times := make([]time.Duration, e.workers)
-	e.parallelChunks(func(worker int, lo, hi uint32) {
-		t0 := time.Now()
-		var u int64
-		e.cur.Range(lo, hi, func(v uint32) {
-			e.state[v] = e.p.Apply(v, e.state[v], e.acc[v], e.hasAcc[v])
-			u++
-		})
-		if u > 0 {
-			times[worker] += time.Since(t0)
-		}
-		updates[worker] += u
+	mode := e.forActive(None, times, func(worker int, v uint32) {
+		e.state[v] = e.p.Apply(v, e.state[v], e.acc[v], e.hasAcc[v])
+		updates[worker]++
 	})
 	var u int64
 	var d time.Duration
@@ -488,54 +523,47 @@ func (e *engine[S, A]) applyPhase() (int64, time.Duration, []time.Duration) {
 		u += updates[w]
 		d += times[w]
 	}
-	return u, d, times
+	return u, d, times, mode
 }
 
 // scatterPhase runs Scatter per active vertex and signals neighbors.
-// Returns the message count and per-worker busy time.
-func (e *engine[S, A]) scatterPhase() (int64, []time.Duration) {
+// Returns the message count, per-worker busy time and the schedule mode.
+func (e *engine[S, A]) scatterPhase() (int64, []time.Duration, string) {
 	busy := make([]time.Duration, e.workers)
 	if e.scatterD == None {
-		return 0, busy
+		// No scan runs at all; the trace records no mode for this phase.
+		return 0, busy, ""
 	}
 	msgs := make([]int64, e.workers)
-	e.parallelChunks(func(worker int, lo, hi uint32) {
-		t0 := time.Now()
-		visited := 0
-		e.cur.Range(lo, hi, func(v uint32) {
-			self := e.state[v]
-			m := int64(0)
-			if e.scatterD == Out || e.scatterD == Both {
-				lo, hi := e.g.OutArcRange(v)
-				for a := lo; a < hi; a++ {
-					arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
-					if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
-						e.next.Set(arc.Other)
-						m++
-					}
+	mode := e.forActive(e.scatterD, busy, func(worker int, v uint32) {
+		self := e.state[v]
+		m := int64(0)
+		if e.scatterD == Out || e.scatterD == Both {
+			lo, hi := e.g.OutArcRange(v)
+			for a := lo; a < hi; a++ {
+				arc := Arc{Index: a, Other: e.g.ArcTarget(a), Weight: e.g.ArcWeight(a)}
+				if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
+					e.next.Set(arc.Other)
+					m++
 				}
 			}
-			if e.scatterD == In || e.scatterD == Both {
-				lo, hi := e.g.InArcRange(v)
-				for a := lo; a < hi; a++ {
-					out := e.g.InArcToOutArc(a)
-					arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
-					if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
-						e.next.Set(arc.Other)
-						m++
-					}
-				}
-			}
-			msgs[worker] += m
-			visited++
-		})
-		if visited > 0 {
-			busy[worker] += time.Since(t0)
 		}
+		if e.scatterD == In || e.scatterD == Both {
+			lo, hi := e.g.InArcRange(v)
+			for a := lo; a < hi; a++ {
+				out := e.g.InArcToOutArc(a)
+				arc := Arc{Index: out, Other: e.g.InArcSource(a), Weight: e.g.ArcWeight(out)}
+				if e.p.Scatter(v, arc, self, e.state[arc.Other]) {
+					e.next.Set(arc.Other)
+					m++
+				}
+			}
+		}
+		msgs[worker] += m
 	})
 	var total int64
 	for _, m := range msgs {
 		total += m
 	}
-	return total, busy
+	return total, busy, mode
 }

@@ -58,6 +58,10 @@ type Config struct {
 	// finished specs) and serves point-in-time snapshots — the /statusz
 	// data source.
 	Tracker *Tracker
+	// Frontier selects the engine's active-set scheduling strategy for
+	// every run (default FrontierAuto). Behavior metrics are invariant to
+	// it; only execution speed differs.
+	Frontier algorithms.FrontierMode
 }
 
 // Execute runs every spec and returns the behavior corpus in spec order.
@@ -86,37 +90,108 @@ func ExecuteContext(ctx context.Context, specs []Spec, cfg Config) ([]*behavior.
 
 // graphCache shares generated graphs between algorithms in the same
 // domain group, as the paper shares one graph per structure.
+//
+// Builds are deduplicated in flight (singleflight): when a campaign
+// launches with Parallel ≈ cores, every run of the first wave asks for
+// the same few graphs at once, and letting each build its own copy
+// multiplies peak RSS by the parallelism degree on the largest size.
+// The first caller builds; everyone else blocks on the entry's ready
+// channel and shares the result.
 type graphCache struct {
-	mu sync.Mutex
-	m  map[string]any
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
+	refs map[string]int // remaining users per key (nil = retain forever)
+}
+
+// cacheEntry is one build, possibly still in flight.
+type cacheEntry struct {
+	ready chan struct{} // closed when v/err are final
+	v     any
+	err   error
 }
 
 func (c *graphCache) getOrBuild(key string, build func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if c.m == nil {
-		c.m = make(map[string]any)
+		c.m = make(map[string]*cacheEntry)
 	}
-	if v, ok := c.m[key]; ok {
+	if e, ok := c.m[key]; ok {
 		c.mu.Unlock()
-		return v, nil
+		<-e.ready
+		return e.v, e.err
 	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
 	c.mu.Unlock()
-	// Build outside the lock; duplicate builds are possible but harmless
-	// (deterministic) and rare.
-	v, err := build()
-	if err != nil {
-		return nil, err
+	e.v, e.err = build()
+	if e.err != nil {
+		// Failed builds are not cached: a retried attempt must rebuild
+		// rather than replay the error forever. Concurrent waiters of
+		// this entry still observe the failure.
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.v, e.err
+}
+
+// retain declares how many campaign specs will request each key, enabling
+// release-at-zero eviction. Without a retain call the cache keeps every
+// entry for its lifetime (the single-run and test paths).
+func (c *graphCache) retain(counts map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refs = counts
+}
+
+// release records that one spec holding key is done with it; the entry is
+// evicted when no remaining spec needs it, so a full sizes × alphas
+// campaign no longer retains every graph simultaneously. No-op for empty
+// keys and for caches without a retain'd plan.
+func (c *graphCache) release(key string) {
+	if key == "" {
+		return
 	}
 	c.mu.Lock()
-	c.m[key] = v
-	c.mu.Unlock()
-	return v, nil
+	defer c.mu.Unlock()
+	if c.refs == nil {
+		return
+	}
+	if n := c.refs[key] - 1; n > 0 {
+		c.refs[key] = n
+	} else {
+		delete(c.refs, key)
+		delete(c.m, key)
+	}
+}
+
+// entries returns the number of cached (or in-flight) graphs.
+func (c *graphCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 // cfGraph pairs a rating graph with its user count.
 type cfGraph struct {
 	g     *graph.Graph
 	users int
+}
+
+// cacheKey returns the shared-graph cache key of the spec, or "" for
+// workloads generated per run (Jacobi, LBP, DD).
+func (s Spec) cacheKey() string {
+	switch s.Algorithm {
+	case algorithms.CC, algorithms.KC, algorithms.TC, algorithms.SSSP,
+		algorithms.PR, algorithms.AD, algorithms.KM:
+		return fmt.Sprintf("ga/%d/%.2f/%d", s.NumEdges, s.Alpha, s.Seed)
+	case algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD:
+		return fmt.Sprintf("cf/%d/%.2f/%d", s.NumEdges, s.Alpha, s.Seed)
+	}
+	return ""
 }
 
 // RunSpec executes one graph computation and converts its trace into a
@@ -129,25 +204,26 @@ func RunSpec(spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
 // stops the computation at its next engine iteration barrier and returns
 // an error wrapping ctx.Err().
 func RunSpecContext(ctx context.Context, spec Spec, workers int, cache *graphCache) (*behavior.Run, error) {
-	run, _, err := runSpecTrace(ctx, spec, workers, cache)
+	run, _, err := runSpecTrace(ctx, spec, workers, algorithms.FrontierAuto, cache)
 	return run, err
 }
 
-// RunSpecTrace executes one spec and returns the behavior run together
-// with the full engine trace — per-iteration counters plus the phase
-// spans the Chrome trace export renders.
-func RunSpecTrace(ctx context.Context, spec Spec, workers int) (*behavior.Run, *trace.RunTrace, error) {
-	return runSpecTrace(ctx, spec, workers, nil)
+// RunSpecTrace executes one spec under the given frontier schedule and
+// returns the behavior run together with the full engine trace —
+// per-iteration counters plus the phase spans and modes the Chrome trace
+// export renders.
+func RunSpecTrace(ctx context.Context, spec Spec, workers int, frontier algorithms.FrontierMode) (*behavior.Run, *trace.RunTrace, error) {
+	return runSpecTrace(ctx, spec, workers, frontier, nil)
 }
 
-func runSpecTrace(ctx context.Context, spec Spec, workers int, cache *graphCache) (*behavior.Run, *trace.RunTrace, error) {
+func runSpecTrace(ctx context.Context, spec Spec, workers int, frontier algorithms.FrontierMode, cache *graphCache) (*behavior.Run, *trace.RunTrace, error) {
 	if cache == nil {
 		cache = &graphCache{}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	opt := algorithms.Options{Workers: workers, Context: ctx}
+	opt := algorithms.Options{Workers: workers, Context: ctx, Frontier: frontier}
 	var out *algorithms.Output
 	var err error
 
@@ -178,8 +254,7 @@ func runSpecTrace(ctx context.Context, spec Spec, workers int, cache *graphCache
 		}
 
 	case algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD:
-		key := fmt.Sprintf("cf/%d/%.2f/%d", spec.NumEdges, spec.Alpha, spec.Seed)
-		v, gerr := cache.getOrBuild(key, func() (any, error) {
+		v, gerr := cache.getOrBuild(spec.cacheKey(), func() (any, error) {
 			g, users, err := gen.Bipartite(gen.BipartiteConfig{
 				NumEdges: spec.NumEdges, Alpha: spec.Alpha, Seed: spec.Seed,
 			})
@@ -249,8 +324,7 @@ func runSpecTrace(ctx context.Context, spec Spec, workers int, cache *graphCache
 // graph for a spec: undirected, sorted adjacency (for TC), with 2-D
 // Gaussian features attached (for KM).
 func gaGraph(spec Spec, cache *graphCache) (*graph.Graph, error) {
-	key := fmt.Sprintf("ga/%d/%.2f/%d", spec.NumEdges, spec.Alpha, spec.Seed)
-	v, err := cache.getOrBuild(key, func() (any, error) {
+	v, err := cache.getOrBuild(spec.cacheKey(), func() (any, error) {
 		g, err := gen.PowerLaw(gen.PowerLawConfig{
 			NumEdges:      spec.NumEdges,
 			Alpha:         spec.Alpha,

@@ -115,6 +115,19 @@ func ExecuteCampaign(ctx context.Context, specs []Spec, cfg Config) (*CampaignRe
 
 	results := make([]RunResult, len(specs))
 	cache := &graphCache{}
+	// Refcount shared graphs from the plan so each is released (and its
+	// memory reclaimed) as soon as no remaining spec needs it — a full
+	// sizes × alphas campaign must not retain every graph at once.
+	refs := make(map[string]int)
+	for i := range specs {
+		if k := specs[i].cacheKey(); k != "" {
+			refs[k]++
+		}
+	}
+	cache.retain(refs)
+	if campaignCacheHook != nil {
+		campaignCacheHook(cache)
+	}
 	if cfg.Tracker != nil {
 		cfg.Tracker.begin(specs)
 	}
@@ -126,6 +139,9 @@ func ExecuteCampaign(ctx context.Context, specs []Spec, cfg Config) (*CampaignRe
 	done := 0
 	var journalErr error
 	finish := func(i int) {
+		// Every spec releases its shared graph exactly once, whatever its
+		// outcome — skipped and cancelled specs will never need it either.
+		cache.release(specs[i].cacheKey())
 		countFinished(results[i].Status)
 		metricQueueDepth.Add(-1)
 		metricRunSeconds.Observe(results[i].Duration.Seconds())
@@ -283,8 +299,14 @@ func attemptSpec(ctx context.Context, spec Spec, cfg Config, cache *graphCache) 
 		actx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
-	return RunSpecContext(actx, spec, cfg.Workers, cache)
+	run, _, err = runSpecTrace(actx, spec, cfg.Workers, cfg.Frontier, cache)
+	return run, err
 }
+
+// campaignCacheHook, when non-nil, receives every campaign's graph cache
+// as it is created — test instrumentation for the refcount-release and
+// singleflight behavior.
+var campaignCacheHook func(*graphCache)
 
 // FaultRate returns a deterministic, seedable InjectFault hook that fails
 // roughly rate of all attempts. The decision depends only on (seed, spec

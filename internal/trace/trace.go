@@ -41,6 +41,15 @@ type IterationStats struct {
 	// (chunk-granular timing, so a worker's busy time never exceeds the
 	// phase wall time it ran under).
 	WorkerSpans []WorkerSpan `json:"workerSpans,omitempty"`
+
+	// GatherMode, ApplyMode and ScatterMode record the frontier schedule
+	// each phase executed under ("dense" bitset chunk scan or "sparse"
+	// compacted-frontier slices; empty when the phase ran no scan at
+	// all). Execution strategy only — the behavior counters above are
+	// invariant to it by construction.
+	GatherMode  string `json:"gatherMode,omitempty"`
+	ApplyMode   string `json:"applyMode,omitempty"`
+	ScatterMode string `json:"scatterMode,omitempty"`
 }
 
 // WorkerSpan is one worker's busy time within one iteration, split by
