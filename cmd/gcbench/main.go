@@ -191,7 +191,28 @@ func cmdSweep(args []string) error {
 			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-40s", done, total, id)
 		}
 	}
-	res, cerr := gcbench.SweepCampaign(ctx, specs, cfg)
+	// The CLI executes through the same jobs engine as the serve API's
+	// POST /api/campaigns — one campaign execution path, two front ends.
+	// A single-slot manager running exactly one job preserves the old
+	// synchronous semantics (cfg, including Journal/Tracker/Progress,
+	// passes through unchanged).
+	mgr := gcbench.NewJobManager(gcbench.JobManagerConfig{MaxRunning: 1})
+	job, err := mgr.Submit(gcbench.JobRequest{
+		Specs:  specs,
+		Config: cfg,
+		Label:  fmt.Sprintf("cli sweep profile=%s seed=%d", *profile, *seed),
+	})
+	if err != nil {
+		return err
+	}
+	go func() {
+		<-ctx.Done() // Ctrl-C / SIGTERM
+		mgr.Cancel(job.ID())
+	}()
+	if _, err := job.Wait(context.Background()); err != nil {
+		return err
+	}
+	res, cerr := job.Result()
 	if !*quiet && !*vb.verbose {
 		fmt.Fprintln(os.Stderr)
 	}

@@ -29,6 +29,9 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline (plumbed into search loops)")
 	cacheSize := fs.Int("cache", 256, "design-response LRU cache entries")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	jobsOn := fs.Bool("jobs", false, "enable the async campaign API (POST /api/campaigns, /api/jobs): completed campaigns publish into the live corpus")
+	maxRunning := fs.Int("max-running", 1, "concurrently executing campaigns (with -jobs)")
+	queueDepth := fs.Int("queue-depth", 16, "campaigns queued behind the running ones before POST /api/campaigns sheds with 429 (with -jobs)")
 	vb := verbosityFlags(fs)
 	fs.Parse(args)
 	vb.setup()
@@ -38,6 +41,13 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
 	}
 	store := gcbench.NewCorpusStore(snap)
+	var mgr *gcbench.JobManager
+	if *jobsOn {
+		mgr = gcbench.NewJobManager(gcbench.JobManagerConfig{
+			MaxRunning: *maxRunning,
+			QueueDepth: *queueDepth,
+		})
+	}
 	srv, err := gcbench.NewAPIServer(gcbench.APIServerConfig{
 		Store:          store,
 		Samples:        *samples,
@@ -45,6 +55,7 @@ func cmdServe(args []string) error {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
+		Jobs:           mgr,
 	})
 	if err != nil {
 		return err
@@ -52,13 +63,18 @@ func cmdServe(args []string) error {
 	if err := srv.Start(*listen); err != nil {
 		return err
 	}
+	endpoints := "/api/runs /api/behavior/{key} /api/ensemble/design /api/ensemble/best /api/predict /api/corpus /metrics /statusz /debug/pprof/"
+	if mgr != nil {
+		endpoints += " /api/campaigns /api/jobs"
+	}
 	slog.Info("ensemble-design API listening",
 		"url", srv.URL(),
 		"corpus", *runsPath,
 		"records", len(snap.Records),
 		"okRuns", snap.OKCount(),
 		"poolSize", snap.PoolSize(),
-		"endpoints", "/api/runs /api/behavior/{key} /api/ensemble/design /api/ensemble/best /api/predict /api/corpus /metrics /statusz /debug/pprof/")
+		"jobs", *jobsOn,
+		"endpoints", endpoints)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests —
 	// including design searches holding worker slots — within the
@@ -69,6 +85,13 @@ func cmdServe(args []string) error {
 	slog.Info("shutting down; draining in-flight requests", "budget", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if mgr != nil {
+		// Stop accepting campaigns, cancel queued and running ones, and
+		// wait for them to finalize so their checkpoints are flushed.
+		if err := mgr.Close(shutdownCtx); err != nil {
+			slog.Warn("job manager drain incomplete", "err", err)
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain exceeded %s: %w", *drain, err)
 	}

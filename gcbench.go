@@ -30,6 +30,7 @@ import (
 	"gcbench/internal/ensemble"
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
+	"gcbench/internal/jobs"
 	"gcbench/internal/obs"
 	"gcbench/internal/predict"
 	"gcbench/internal/report"
@@ -375,6 +376,51 @@ var (
 	NewCorpusStore          = corpus.NewStore
 	CorpusKeyOf             = corpus.KeyOf
 	NewAPIServer            = serve.New
+)
+
+// --- Async campaign jobs ---
+
+// JobManager queues and executes sweep campaigns asynchronously: FIFO
+// admission behind a bounded running-slot/queue pair, per-job
+// cancellation, a replayable event stream and terminal-state retention.
+// Both `gcbench sweep` and the serve API's POST /api/campaigns execute
+// through it.
+type JobManager = jobs.Manager
+
+// JobManagerConfig parameterizes a JobManager.
+type JobManagerConfig = jobs.Config
+
+// CampaignJob is one tracked asynchronous campaign.
+type CampaignJob = jobs.Job
+
+// JobRequest is the campaign submitted to a JobManager.
+type JobRequest = jobs.Request
+
+// JobStatus is a point-in-time job snapshot.
+type JobStatus = jobs.Status
+
+// JobEvent is one entry in a job's ordered progress stream.
+type JobEvent = jobs.Event
+
+// JobState is a job's lifecycle state; ok, failed and cancelled are
+// terminal.
+type JobState = jobs.State
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobOK        = jobs.StateOK
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// Job-manager entry point and sentinel errors.
+var (
+	NewJobManager   = jobs.NewManager
+	ErrJobQueueFull = jobs.ErrQueueFull
+	ErrJobsClosed   = jobs.ErrClosed
+	ErrJobNotFound  = jobs.ErrNotFound
 )
 
 // --- Behavior prediction (§7 future work) ---

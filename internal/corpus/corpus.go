@@ -161,6 +161,13 @@ func LoadFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
+	if len(head) == 0 {
+		// A zero-byte corpus is a torn write (a crashed `sweep -out`, a
+		// truncate-then-write editor), never a valid collection; refusing
+		// here keeps Store.Reload serving the previous snapshot instead
+		// of publishing an empty corpus.
+		return nil, fmt.Errorf("corpus: %s is empty (partial write?); refusing to load", path)
+	}
 	trimmed := strings.TrimLeft(string(head), " \t\r\n")
 	if strings.HasPrefix(trimmed, "[") {
 		runs, err := sweep.LoadRunsFile(path)
@@ -402,6 +409,9 @@ func (s *Snapshot) Predictor() (*predict.Predictor, error) {
 type Store struct {
 	cur     atomic.Pointer[Snapshot]
 	version atomic.Int64
+	// pubMu serializes the read-modify-write publishers (Append, Reload)
+	// against each other; readers never take it.
+	pubMu sync.Mutex
 }
 
 // NewStore returns a store serving the given initial snapshot.
@@ -424,8 +434,12 @@ func (st *Store) Swap(snap *Snapshot) *Snapshot {
 	return st.cur.Swap(snap)
 }
 
-// Reload loads the store's configured source path and publishes it.
+// Reload loads the store's configured source path and publishes it. A
+// source file that shrank to zero bytes (a partial rewrite caught
+// mid-flight) is rejected and the current snapshot stays published.
 func (st *Store) Reload() (*Snapshot, error) {
+	st.pubMu.Lock()
+	defer st.pubMu.Unlock()
 	cur := st.Snapshot()
 	if cur == nil || cur.Source == "" {
 		return nil, fmt.Errorf("corpus: store has no reloadable source")
@@ -433,6 +447,48 @@ func (st *Store) Reload() (*Snapshot, error) {
 	snap, err := LoadFile(cur.Source)
 	if err != nil {
 		return nil, err
+	}
+	st.Swap(snap)
+	return snap, nil
+}
+
+// Append publishes a grown corpus: the current snapshot's records plus
+// one ok record per new measured run, rebuilt and re-indexed as a fresh
+// snapshot. Rebuilding runs the snapshot's normalization from scratch,
+// so the paper's max-normalization invariant — every behavior dimension
+// ≤ 1.0 across the whole collection (§3.4) — holds however far the
+// corpus grows: a new run that raises a dimension's maximum rescales
+// every older point, it does not escape the unit cube.
+//
+// The swap is atomic: readers holding the previous snapshot finish
+// against a consistent view, and concurrent Append/Reload publishers
+// are serialized so no appended run is lost. from names where the runs
+// came from (e.g. a job ID) for the snapshot's Source annotation.
+func (st *Store) Append(runs []*behavior.Run, from string) (*Snapshot, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("corpus: nothing to append")
+	}
+	st.pubMu.Lock()
+	defer st.pubMu.Unlock()
+	cur := st.Snapshot()
+	if cur == nil {
+		return nil, fmt.Errorf("corpus: store has no published snapshot")
+	}
+	records := make([]Record, 0, len(cur.Records)+len(runs))
+	records = append(records, cur.Records...)
+	for _, r := range runs {
+		records = append(records, Record{
+			Run: r, Status: behavior.StatusOK,
+			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha,
+		})
+	}
+	source := cur.Source
+	if source == "" {
+		source = from
+	}
+	snap, err := newSnapshot(records, source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: appending %d runs from %s: %w", len(runs), from, err)
 	}
 	st.Swap(snap)
 	return snap, nil

@@ -1,0 +1,140 @@
+package ensemble
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"gcbench/internal/behavior"
+)
+
+// naiveSpreadExchange is the pre-optimization reference implementation:
+// every candidate swap is scored with a full SpreadOf recomputation. Kept
+// here as the oracle for the incremental version.
+func naiveSpreadExchange(pool []behavior.Vector, members, candidates []int) []int {
+	cur := append([]int(nil), members...)
+	curSpread := SpreadOf(pool, cur)
+	inSet := make(map[int]bool, len(cur))
+	for _, m := range cur {
+		inSet[m] = true
+	}
+	const maxPasses = 20
+	for pass := 0; pass < maxPasses; pass++ {
+		bestGain := 1e-12
+		bestPos, bestCand := -1, -1
+		for pos := range cur {
+			for _, cand := range candidates {
+				if inSet[cand] {
+					continue
+				}
+				old := cur[pos]
+				cur[pos] = cand
+				s := SpreadOf(pool, cur)
+				cur[pos] = old
+				if gain := s - curSpread; gain > bestGain {
+					bestGain, bestPos, bestCand = gain, pos, cand
+				}
+			}
+		}
+		if bestPos < 0 {
+			break
+		}
+		delete(inSet, cur[bestPos])
+		inSet[bestCand] = true
+		curSpread += bestGain
+		cur[bestPos] = bestCand
+	}
+	sort.Ints(cur)
+	return cur
+}
+
+// TestSpreadExchangeMatchesNaive cross-checks the incremental exchange
+// against the full-recomputation reference over a grid of pool shapes
+// and seeds: the selected sets must agree, and the achieved spread must
+// be at least the reference's (never a regression from the speedup).
+func TestSpreadExchangeMatchesNaive(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+	}{
+		{8, 2}, {12, 3}, {20, 4}, {20, 8}, {30, 5}, {40, 10},
+	} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			pool := randomPool(tc.n, seed*101)
+			members := allIdx(tc.n)[:tc.k]
+			candidates := allIdx(tc.n)
+
+			want := naiveSpreadExchange(pool, members, candidates)
+			got, err := ImproveSpreadExchangeCtx(context.Background(), pool, members, candidates)
+			if err != nil {
+				t.Fatalf("n=%d k=%d seed=%d: unexpected error: %v", tc.n, tc.k, seed, err)
+			}
+
+			wantSpread := SpreadOf(pool, want)
+			gotSpread := SpreadOf(pool, got)
+			if gotSpread < wantSpread-1e-9 {
+				t.Errorf("n=%d k=%d seed=%d: incremental spread %v < naive %v",
+					tc.n, tc.k, seed, gotSpread, wantSpread)
+			}
+			if math.Abs(gotSpread-wantSpread) > 1e-9 {
+				t.Errorf("n=%d k=%d seed=%d: spread diverged: incremental %v, naive %v (sets %v vs %v)",
+					tc.n, tc.k, seed, gotSpread, wantSpread, got, want)
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d seed=%d: size mismatch: %v vs %v", tc.n, tc.k, seed, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("n=%d k=%d seed=%d: sets differ: incremental %v, naive %v",
+						tc.n, tc.k, seed, got, want)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSpreadExchangeSmallSets covers the degenerate sizes the incremental
+// bookkeeping special-cases.
+func TestSpreadExchangeSmallSets(t *testing.T) {
+	pool := randomPool(10, 7)
+	for _, members := range [][]int{nil, {3}} {
+		got, err := ImproveSpreadExchangeCtx(context.Background(), pool, members, allIdx(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(members) {
+			t.Fatalf("members %v: got %v, want same size", members, got)
+		}
+	}
+	// A cancelled context must surface, not be swallowed.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ImproveSpreadExchangeCtx(ctx, pool, []int{0, 1, 2}, allIdx(10)); err == nil {
+		t.Fatal("expected context error from cancelled exchange")
+	}
+}
+
+func benchmarkExchange(b *testing.B, n, k int, fn func(pool []behavior.Vector, members, candidates []int)) {
+	pool := randomPool(n, 42)
+	candidates := allIdx(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Start from the worst-case seed set (first k points) every
+		// iteration so each run performs real exchange work.
+		fn(pool, candidates[:k], candidates)
+	}
+}
+
+func BenchmarkSpreadExchangeIncremental(b *testing.B) {
+	benchmarkExchange(b, 120, 12, func(pool []behavior.Vector, members, candidates []int) {
+		_, _ = ImproveSpreadExchangeCtx(context.Background(), pool, members, candidates)
+	})
+}
+
+func BenchmarkSpreadExchangeNaive(b *testing.B) {
+	benchmarkExchange(b, 120, 12, func(pool []behavior.Vector, members, candidates []int) {
+		naiveSpreadExchange(pool, members, candidates)
+	})
+}

@@ -1,0 +1,369 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gcbench/internal/behavior"
+	"gcbench/internal/obs"
+	"gcbench/internal/sweep"
+)
+
+func testSpecs(n int) []sweep.Spec {
+	specs := make([]sweep.Spec, n)
+	for i := range specs {
+		specs[i] = sweep.Spec{Algorithm: "PR", SizeLabel: fmt.Sprint(100 + i), Alpha: 2.0, Seed: 1}
+	}
+	return specs
+}
+
+func okResult(specs []sweep.Spec) *sweep.CampaignResult {
+	res := &sweep.CampaignResult{Completed: len(specs)}
+	for _, s := range specs {
+		res.Results = append(res.Results, sweep.RunResult{Spec: s, Status: behavior.StatusOK})
+		res.Runs = append(res.Runs, &behavior.Run{Algorithm: "PR", SizeLabel: s.SizeLabel, Alpha: s.Alpha})
+	}
+	return res
+}
+
+// instantExec completes immediately, reporting one progress tick per spec.
+func instantExec(ctx context.Context, specs []sweep.Spec, cfg sweep.Config) (*sweep.CampaignResult, error) {
+	for i, s := range specs {
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(specs), s.ID())
+		}
+	}
+	return okResult(specs), nil
+}
+
+// blockingExec returns an ExecuteFunc that blocks until release is
+// closed or the campaign context is cancelled (mirroring the sweep
+// runner's cancellation contract: res non-nil, err = ctx.Err()).
+func blockingExec(release <-chan struct{}) ExecuteFunc {
+	return func(ctx context.Context, specs []sweep.Spec, cfg sweep.Config) (*sweep.CampaignResult, error) {
+		select {
+		case <-release:
+			return okResult(specs), nil
+		case <-ctx.Done():
+			res := &sweep.CampaignResult{Cancelled: len(specs)}
+			for _, s := range specs {
+				res.Results = append(res.Results, sweep.RunResult{
+					Spec: s, Status: behavior.StatusCancelled, Err: ctx.Err().Error(),
+				})
+			}
+			return res, ctx.Err()
+		}
+	}
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	m := NewManager(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job %s: wait: %v (state %s)", j.ID(), err, got)
+	}
+	if got != want {
+		t.Fatalf("job %s: terminal state %s, want %s", j.ID(), got, want)
+	}
+}
+
+func TestJobRunsToOKAndPublishes(t *testing.T) {
+	m := newTestManager(t, Config{Execute: instantExec})
+	published := make(chan int, 1)
+	m.SetPublish(func(jobID string, runs []*behavior.Run) (int64, error) {
+		published <- len(runs)
+		return 7, nil
+	})
+	specs := testSpecs(3)
+	j, err := m.Submit(Request{Specs: specs, Label: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateOK)
+	select {
+	case n := <-published:
+		if n != 3 {
+			t.Fatalf("published %d runs, want 3", n)
+		}
+	default:
+		t.Fatal("publish sink never called")
+	}
+	st := m.StatusOf(j)
+	if st.CorpusVersion != 7 || st.Done != 3 || st.Completed != 3 {
+		t.Fatalf("status after ok: %+v", st)
+	}
+
+	// The event stream must show the full lifecycle in order: queued,
+	// running, three progress ticks, published, ok.
+	var types []string
+	for _, e := range j.Events() {
+		types = append(types, e.Type+"/"+string(e.State))
+	}
+	want := []string{"state/queued", "state/running", "progress/", "progress/", "progress/", "published/", "state/ok"}
+	if len(types) != len(want) {
+		t.Fatalf("events %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event[%d] = %s, want %s (all: %v)", i, types[i], want[i], types)
+		}
+	}
+}
+
+func TestCancelWhileQueuedNeverExecutes(t *testing.T) {
+	release := make(chan struct{})
+	executed := make(chan string, 8)
+	exec := blockingExec(release)
+	m := newTestManager(t, Config{
+		MaxRunning: 1,
+		Execute: func(ctx context.Context, specs []sweep.Spec, cfg sweep.Config) (*sweep.CampaignResult, error) {
+			executed <- specs[0].SizeLabel
+			return exec(ctx, specs, cfg)
+		},
+	})
+	first, err := m.Submit(Request{Specs: testSpecs(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Request{Specs: testSpecs(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.StatusOf(queued); st.State != StateQueued || st.QueuePosition != 1 {
+		t.Fatalf("second job not queued at position 1: %+v", st)
+	}
+
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, queued, StateCancelled)
+	res, rerr := queued.Result()
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("cancelled-while-queued result error = %v, want context.Canceled", rerr)
+	}
+	if res == nil || res.Cancelled != 2 || len(res.Results) != 2 {
+		t.Fatalf("cancelled-while-queued result = %+v, want 2 cancelled specs", res)
+	}
+
+	close(release)
+	waitState(t, first, StateOK)
+	// Only the first job's campaign may ever have reached the executor.
+	if n := len(executed); n != 1 {
+		t.Fatalf("%d campaigns executed, want 1 (cancelled job must never start)", n)
+	}
+}
+
+func TestCancelMidRunFinalizesCancelled(t *testing.T) {
+	m := newTestManager(t, Config{Execute: blockingExec(nil)})
+	publishCalls := 0
+	m.SetPublish(func(string, []*behavior.Run) (int64, error) {
+		publishCalls++
+		return 1, nil
+	})
+	j, err := m.Submit(Request{Specs: testSpecs(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it reach running before cancelling.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+	if publishCalls != 0 {
+		t.Fatalf("cancelled job published %d times; cancelled runs must not enter the corpus", publishCalls)
+	}
+	// Cancelling again is a no-op, not an error.
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatalf("second cancel: %v", err)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	reg := obs.NewRegistry()
+	m := newTestManager(t, Config{MaxRunning: 1, QueueDepth: 1, Registry: reg, Execute: blockingExec(release)})
+	if _, err := m.Submit(Request{Specs: testSpecs(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Request{Specs: testSpecs(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Request{Specs: testSpecs(1)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueuedJobStartsAfterSlotFrees(t *testing.T) {
+	release := make(chan struct{})
+	m := newTestManager(t, Config{MaxRunning: 1, Execute: blockingExec(release)})
+	first, _ := m.Submit(Request{Specs: testSpecs(1)})
+	second, err := m.Submit(Request{Specs: testSpecs(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State() != StateQueued {
+		t.Fatalf("second job state %s, want queued", second.State())
+	}
+	close(release)
+	waitState(t, first, StateOK)
+	waitState(t, second, StateOK)
+}
+
+func TestFailedRunsDemoteJob(t *testing.T) {
+	m := newTestManager(t, Config{
+		Execute: func(ctx context.Context, specs []sweep.Spec, cfg sweep.Config) (*sweep.CampaignResult, error) {
+			res := okResult(specs)
+			res.Completed--
+			res.Failed = 1
+			res.Results[0].Status = behavior.StatusFailed
+			return res, nil
+		},
+	})
+	j, _ := m.Submit(Request{Specs: testSpecs(2)})
+	waitState(t, j, StateFailed)
+	if st := m.StatusOf(j); st.Error == "" || st.FailedRuns != 1 {
+		t.Fatalf("failed job status: %+v", st)
+	}
+}
+
+func TestPublishErrorDemotesJob(t *testing.T) {
+	m := newTestManager(t, Config{Execute: instantExec})
+	m.SetPublish(func(string, []*behavior.Run) (int64, error) {
+		return 0, errors.New("corpus on fire")
+	})
+	j, _ := m.Submit(Request{Specs: testSpecs(1)})
+	waitState(t, j, StateFailed)
+	if st := m.StatusOf(j); st.CorpusVersion != 0 {
+		t.Fatalf("corpus version %d recorded despite publish failure", st.CorpusVersion)
+	}
+}
+
+func TestWatchReplaysAndTerminates(t *testing.T) {
+	m := newTestManager(t, Config{Execute: instantExec})
+	j, _ := m.Submit(Request{Specs: testSpecs(2)})
+	waitState(t, j, StateOK)
+
+	// A watcher attached after completion replays everything, then the
+	// channel closes — it must not hang waiting for more.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var got []Event
+	for e := range j.Watch(ctx) {
+		got = append(got, e)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("watch did not terminate after the terminal event")
+	}
+	if len(got) == 0 || got[len(got)-1].State != StateOK {
+		t.Fatalf("replay ended with %+v, want terminal ok state event", got)
+	}
+	for i, e := range got {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d; stream must be gapless from 1", i, e.Seq)
+		}
+	}
+}
+
+func TestWatchStopsOnClientCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{Execute: blockingExec(release)})
+	j, _ := m.Submit(Request{Specs: testSpecs(1)})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := j.Watch(ctx)
+	<-ch // queued event arrives
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, open := <-ch:
+			if !open {
+				if j.Watchers() != 0 {
+					t.Fatalf("%d watchers still attached after cancel", j.Watchers())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel never closed after context cancel")
+		}
+	}
+}
+
+func TestRetainEvictsOldestTerminal(t *testing.T) {
+	m := newTestManager(t, Config{Retain: 2, Execute: instantExec})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(Request{Specs: testSpecs(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateOK)
+		ids = append(ids, j.ID())
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatalf("job %s should have been GC'd (retain=2)", ids[0])
+	}
+	if _, ok := m.Get(ids[3]); !ok {
+		t.Fatalf("newest job %s must survive GC", ids[3])
+	}
+	if got := len(m.List()); got != 2 {
+		t.Fatalf("%d jobs tracked, want 2", got)
+	}
+}
+
+func TestCloseCancelsQueuedAndRefusesSubmits(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(Config{MaxRunning: 1, Registry: obs.NewRegistry(), Execute: blockingExec(release)})
+	running, _ := m.Submit(Request{Specs: testSpecs(1)})
+	queued, _ := m.Submit(Request{Specs: testSpecs(1)})
+
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		closed <- m.Close(ctx)
+	}()
+	waitState(t, running, StateCancelled) // Close cancels the running job's context
+	waitState(t, queued, StateCancelled)
+	if err := <-closed; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := m.Submit(Request{Specs: testSpecs(1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSubmitEmptyCampaign(t *testing.T) {
+	m := newTestManager(t, Config{Execute: instantExec})
+	if _, err := m.Submit(Request{}); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/behavior"
+	"gcbench/internal/jobs"
+	"gcbench/internal/sweep"
+)
+
+// campaignRequest is the POST /api/campaigns body: a campaign plan
+// (profile × optional restrictions) plus the resilient-runner knobs.
+type campaignRequest struct {
+	// Profile scales the plan: "quick", "standard" (default) or "large".
+	Profile string `json:"profile"`
+	// Seed selects the campaign's graph streams (default 42, the CLI's).
+	Seed uint64 `json:"seed"`
+	// Label is echoed in job status listings.
+	Label string `json:"label"`
+	// Algorithms/Sizes/Alphas restrict the plan to matching specs
+	// (empty = no restriction), so a client can submit a one-algorithm
+	// smoke campaign without paying for the full Table 2 grid.
+	Algorithms []string  `json:"algorithms"`
+	Sizes      []string  `json:"sizes"`
+	Alphas     []float64 `json:"alphas"`
+	// Parallel/Workers are the sweep.Config parallelism knobs (0 = auto).
+	Parallel int `json:"parallel"`
+	Workers  int `json:"workers"`
+	// TimeoutSeconds is the per-run wall-clock budget (0 = unlimited).
+	TimeoutSeconds float64 `json:"timeoutSeconds"`
+	// Retries is the extra-attempt budget per failed or timed-out run.
+	Retries int `json:"retries"`
+}
+
+// buildSpecs validates the request and materializes its campaign plan.
+func (req *campaignRequest) buildSpecs() ([]sweep.Spec, error) {
+	if req.Profile == "" {
+		req.Profile = string(sweep.ProfileStandard)
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+	if req.TimeoutSeconds < 0 {
+		return nil, errInvalidf("timeoutSeconds must be ≥ 0, got %g", req.TimeoutSeconds)
+	}
+	if req.Retries < 0 {
+		return nil, errInvalidf("retries must be ≥ 0, got %d", req.Retries)
+	}
+	for i, a := range req.Algorithms {
+		name, err := algorithms.Parse(a)
+		if err != nil {
+			return nil, errInvalidf("algorithms: %v", err)
+		}
+		req.Algorithms[i] = string(name)
+	}
+	plan, err := sweep.BuildPlan(sweep.Profile(req.Profile), req.Seed)
+	if err != nil {
+		return nil, errInvalidf("%v", err)
+	}
+	specs := plan[:0]
+	for _, s := range plan {
+		if len(req.Algorithms) > 0 && !containsStr(req.Algorithms, string(s.Algorithm)) {
+			continue
+		}
+		if len(req.Sizes) > 0 && !containsStr(req.Sizes, s.SizeLabel) {
+			continue
+		}
+		if len(req.Alphas) > 0 && !containsAlpha(req.Alphas, s.Alpha) {
+			continue
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 0 {
+		return nil, errInvalidf("no campaign specs match the given algorithm/size/alpha restrictions")
+	}
+	return specs, nil
+}
+
+func containsStr(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAlpha(set []float64, v float64) bool {
+	for _, a := range set {
+		if a == v || (v-a) < 1e-9 && (a-v) < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// handleSubmitCampaign serves POST /api/campaigns: validated spec →
+// queued job, 202 with the job's status, or 429 when the manager's
+// queue is full (backpressure, mirroring the design worker pool).
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "decoding body: %v", err)
+		return
+	}
+	specs, err := req.buildSpecs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	label := req.Label
+	if label == "" {
+		label = fmt.Sprintf("campaign profile=%s seed=%d (%d specs)", req.Profile, req.Seed, len(specs))
+	}
+	job, err := s.cfg.Jobs.Submit(jobs.Request{
+		Specs: specs,
+		Label: label,
+		Config: sweep.Config{
+			Parallel: req.Parallel,
+			Workers:  req.Workers,
+			Timeout:  time.Duration(req.TimeoutSeconds * float64(time.Second)),
+			Retries:  req.Retries,
+		},
+	})
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			"campaign queue is full; retry later or cancel a queued job")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "job manager is shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": s.cfg.Jobs.StatusOf(job)})
+}
+
+// handleJobs serves GET /api/jobs: every tracked job in submission order.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	list := s.cfg.Jobs.List()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "jobs": list})
+}
+
+// jobByID resolves the {id} path value, writing the 404 envelope itself.
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.cfg.Jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no job with id %q (finished jobs are eventually GC'd)", id)
+	}
+	return job, ok
+}
+
+// handleJob serves GET /api/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": s.cfg.Jobs.StatusOf(job)})
+}
+
+// handleJobCancel serves DELETE /api/jobs/{id}: cooperative cancellation.
+// Queued jobs are terminal immediately; running ones stop at their next
+// engine iteration barriers and finalize asynchronously — poll the job
+// (or watch its events) for the terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	if job.State().Terminal() {
+		writeError(w, http.StatusConflict, "already_terminal",
+			"job %s already finished with state %q", job.ID(), job.State())
+		return
+	}
+	if err := s.cfg.Jobs.Cancel(job.ID()); err != nil {
+		writeError(w, http.StatusInternalServerError, "cancel_failed", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": s.cfg.Jobs.StatusOf(job)})
+}
+
+// handleJobEvents serves GET /api/jobs/{id}/events: the job's progress
+// stream as NDJSON — one JSON event per line, past events replayed
+// first, then live ones as they happen, with heartbeat lines every
+// JobsHeartbeat of silence so intermediaries keep the connection open.
+// The stream ends after the terminal state event, or when the client
+// disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	writeEvent := func(e jobs.Event) bool {
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		_ = rc.Flush()
+		return true
+	}
+
+	heartbeat := time.NewTicker(s.cfg.JobsHeartbeat)
+	defer heartbeat.Stop()
+	events := job.Watch(r.Context())
+	for {
+		select {
+		case e, open := <-events:
+			if !open {
+				return
+			}
+			if !writeEvent(e) {
+				return
+			}
+			heartbeat.Reset(s.cfg.JobsHeartbeat)
+		case <-heartbeat.C:
+			if !writeEvent(jobs.Event{Type: "heartbeat", JobID: job.ID(), Time: time.Now().UTC()}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// publishRuns is the jobs.Manager publish sink: append the completed
+// job's measured runs to the live corpus store (which renormalizes the
+// behavior space corpus-wide, preserving the ≤ 1.0 max-normalization
+// invariant) and invalidate the design cache for the new epoch. Cached
+// design keys embed the corpus version, so the purge is a memory
+// release, not a correctness requirement.
+func (s *Server) publishRuns(jobID string, runs []*behavior.Run) (int64, error) {
+	snap, err := s.store.Append(runs, "job "+jobID)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.Purge()
+	s.mPublishes.Inc()
+	return snap.Version, nil
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcbench/internal/jobs"
+	"gcbench/internal/obs"
+)
+
+// TestGoldenMethodFallback pins the wrong-method and unknown-path
+// behavior of every /api/* route: each case's status line, Allow header
+// and JSON error envelope are compared against a golden file, so a
+// routing change that silently downgrades the envelopes to net/http's
+// bare text errors (or loses an Allow method) surfaces as a diff.
+// Regenerate deliberately with:
+//
+//	go test ./internal/serve/ -run TestGoldenMethodFallback -update
+func TestGoldenMethodFallback(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Config{Registry: obs.NewRegistry()})
+	s := newTestServer(t, func(cfg *Config) { cfg.Jobs = mgr })
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPut, "/api/runs"},
+		{http.MethodDelete, "/api/ensemble/design"},
+		{http.MethodGet, "/api/corpus/reload"},
+		{http.MethodPost, "/api/behavior/somekey"},
+		{http.MethodGet, "/api/campaigns"},
+		{http.MethodPut, "/api/jobs"},
+		{http.MethodPost, "/api/jobs/j1"},
+		{http.MethodPost, "/api/jobs/j1/events"},
+		{http.MethodGet, "/api/nope"},
+		{http.MethodPost, "/api/jobs/j1/nope"},
+	}
+	var got bytes.Buffer
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest(c.method, c.path, nil))
+		fmt.Fprintf(&got, "%s %s -> %d", c.method, c.path, w.Code)
+		if allow := w.Header().Get("Allow"); allow != "" {
+			fmt.Fprintf(&got, " Allow: %s", allow)
+		}
+		fmt.Fprintf(&got, "\n%s\n", w.Body.String())
+
+		// Every fallback response must carry the structured envelope.
+		if ct := w.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("%s %s: Content-Type %q", c.method, c.path, ct)
+		}
+		decodeError(t, w)
+	}
+
+	goldenPath := filepath.Join("testdata", "method_fallback.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("method fallback diverged from %s;\nre-run with -update if the change is intended.\ngot:\n%s",
+			goldenPath, got.Bytes())
+	}
+}
+
+// TestMethodFallbackWithoutJobs ensures the job routes are genuinely
+// absent (404, not 405) when the server runs without a job manager.
+func TestMethodFallbackWithoutJobs(t *testing.T) {
+	s := newTestServer(t, nil)
+	for _, path := range []string{"/api/campaigns", "/api/jobs", "/api/jobs/j1"} {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		if w.Code != http.StatusNotFound {
+			t.Errorf("GET %s without -jobs: status %d, want 404", path, w.Code)
+		}
+		if code := decodeError(t, w); code != "not_found" {
+			t.Errorf("GET %s: error code %q", path, code)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// apiRoute records one registered API pattern for the wrong-method
+// fallback: net/http's ServeMux would answer a wrong-method hit with a
+// bare text 405, so the server keeps its own table and renders the same
+// structured JSON error envelope (plus an accurate Allow header) that
+// every other API failure uses.
+type apiRoute struct {
+	method string
+	segs   []string // pattern path segments; "{...}" matches any one segment
+}
+
+// api registers a method-qualified pattern on the mux and records it in
+// the fallback table.
+func (s *Server) api(mux *http.ServeMux, method, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(method+" "+pattern, h)
+	s.routes = append(s.routes, apiRoute{
+		method: method,
+		segs:   strings.Split(strings.Trim(pattern, "/"), "/"),
+	})
+}
+
+// matches reports whether the route's pattern matches the request path
+// segments ({wildcard} segments match anything non-empty).
+func (r apiRoute) matches(segs []string) bool {
+	if len(segs) != len(r.segs) {
+		return false
+	}
+	for i, p := range r.segs {
+		if strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}") {
+			if segs[i] == "" {
+				return false
+			}
+			continue
+		}
+		if p != segs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// handleAPIFallback answers every /api/* request the method-qualified
+// patterns did not: 405 + Allow for a known path hit with the wrong
+// method, 404 for an unknown path — both as JSON error envelopes.
+func (s *Server) handleAPIFallback(w http.ResponseWriter, r *http.Request) {
+	segs := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	allowed := map[string]bool{}
+	for _, rt := range s.routes {
+		if rt.matches(segs) {
+			allowed[rt.method] = true
+			if rt.method == http.MethodGet {
+				// The mux serves HEAD through GET handlers; advertise it.
+				allowed[http.MethodHead] = true
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		writeError(w, http.StatusNotFound, "not_found", "no API route matches %s", r.URL.Path)
+		return
+	}
+	methods := make([]string, 0, len(allowed))
+	for m := range allowed {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		"%s does not allow %s (allowed: %s)", r.URL.Path, r.Method, strings.Join(methods, ", "))
+}
+
+// isEventStream reports whether the request is a long-lived NDJSON job
+// event stream, which must not inherit the per-request deadline.
+func isEventStream(r *http.Request) bool {
+	return r.Method == http.MethodGet &&
+		strings.HasPrefix(r.URL.Path, "/api/jobs/") &&
+		strings.HasSuffix(r.URL.Path, "/events")
+}

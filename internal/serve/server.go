@@ -37,6 +37,7 @@ import (
 
 	"gcbench/internal/corpus"
 	"gcbench/internal/ensemble"
+	"gcbench/internal/jobs"
 	"gcbench/internal/obs"
 )
 
@@ -62,6 +63,16 @@ type Config struct {
 	CacheSize int
 	// Registry receives the gcbench_serve_* metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Jobs, when non-nil, enables the asynchronous campaign API
+	// (POST /api/campaigns, GET /api/jobs[/{id}[/events]],
+	// DELETE /api/jobs/{id}) over this manager. The server installs
+	// itself as the manager's publish sink: a completed job's runs are
+	// appended to Store (renormalized corpus-wide) and the design cache
+	// is purged, so new runs are servable without a restart.
+	Jobs *jobs.Manager
+	// JobsHeartbeat is the NDJSON event-stream keepalive interval
+	// (default 15s).
+	JobsHeartbeat time.Duration
 }
 
 // Server is the ensemble-design API server. Construct with New; the
@@ -81,6 +92,7 @@ type Server struct {
 
 	handler http.Handler
 	start   time.Time
+	routes  []apiRoute
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -105,6 +117,7 @@ type Server struct {
 	mErrors    *obs.Counter
 	mSearches  *obs.Counter
 	mReloads   *obs.Counter
+	mPublishes *obs.Counter
 }
 
 // latencyBuckets spans sub-millisecond cache hits to multi-second cold
@@ -139,6 +152,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.Default()
 	}
+	if cfg.JobsHeartbeat == 0 {
+		cfg.JobsHeartbeat = 15 * time.Second
+	}
 	reg := cfg.Registry
 	s := &Server{
 		cfg:    cfg,
@@ -161,16 +177,29 @@ func New(cfg Config) (*Server, error) {
 		mErrors:    reg.Counter("gcbench_serve_errors_total", "API responses with a 5xx status."),
 		mSearches:  reg.Counter("gcbench_serve_searches_total", "Underlying ensemble searches executed."),
 		mReloads:   reg.Counter("gcbench_serve_corpus_reloads_total", "Corpus hot-reloads."),
+		mPublishes: reg.Counter("gcbench_serve_job_publishes_total", "Completed jobs whose runs were appended to the live corpus."),
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/runs", s.handleRuns)
-	mux.HandleFunc("GET /api/behavior/{key}", s.handleBehavior)
-	mux.HandleFunc("POST /api/ensemble/design", s.handleDesign)
-	mux.HandleFunc("GET /api/ensemble/best", s.handleBest)
-	mux.HandleFunc("GET /api/predict", s.handlePredict)
-	mux.HandleFunc("GET /api/corpus", s.handleCorpusInfo)
-	mux.HandleFunc("POST /api/corpus/reload", s.handleReload)
+	s.api(mux, http.MethodGet, "/api/runs", s.handleRuns)
+	s.api(mux, http.MethodGet, "/api/behavior/{key}", s.handleBehavior)
+	s.api(mux, http.MethodPost, "/api/ensemble/design", s.handleDesign)
+	s.api(mux, http.MethodGet, "/api/ensemble/best", s.handleBest)
+	s.api(mux, http.MethodGet, "/api/predict", s.handlePredict)
+	s.api(mux, http.MethodGet, "/api/corpus", s.handleCorpusInfo)
+	s.api(mux, http.MethodPost, "/api/corpus/reload", s.handleReload)
+	if cfg.Jobs != nil {
+		s.api(mux, http.MethodPost, "/api/campaigns", s.handleSubmitCampaign)
+		s.api(mux, http.MethodGet, "/api/jobs", s.handleJobs)
+		s.api(mux, http.MethodGet, "/api/jobs/{id}", s.handleJob)
+		s.api(mux, http.MethodDelete, "/api/jobs/{id}", s.handleJobCancel)
+		s.api(mux, http.MethodGet, "/api/jobs/{id}/events", s.handleJobEvents)
+		cfg.Jobs.SetPublish(s.publishRuns)
+	}
+	// Anything else under /api/ is either a wrong-method hit on a real
+	// route (405 + Allow) or an unknown path (404), both with the same
+	// structured JSON error envelope as every other API failure.
+	mux.HandleFunc("/api/", s.handleAPIFallback)
 	obs.RegisterRoutes(mux, obs.ServerOptions{
 		Registry: reg,
 		Status:   func() any { return s.Status() },
@@ -203,12 +232,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush for the NDJSON event streams.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // instrument wraps the mux with request accounting and the per-request
-// deadline every downstream search loop inherits.
+// deadline every downstream search loop inherits. Job event streams are
+// exempt from the deadline: they live until the job ends or the client
+// disconnects, not until an arbitrary timeout.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
+		ctx := r.Context()
+		if !isEventStream(r) {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
 		next.ServeHTTP(rec, r.WithContext(ctx))
@@ -240,6 +279,13 @@ func (s *Server) Status() map[string]any {
 		st["records"] = len(snap.Records)
 		st["okRuns"] = snap.OKCount()
 		st["poolSize"] = snap.PoolSize()
+	}
+	if s.cfg.Jobs != nil {
+		byState := map[jobs.State]int{}
+		for _, js := range s.cfg.Jobs.List() {
+			byState[js.State]++
+		}
+		st["jobs"] = byState
 	}
 	return st
 }
