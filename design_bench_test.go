@@ -1,0 +1,176 @@
+// Design-path benchmark artifact: measures the ensemble-design hot
+// paths this repo serves — incremental coverage swap evaluation vs a
+// full Monte-Carlo recompute, and index-backed behavior prediction vs
+// the linear scan — and writes BENCH_design.json for the CI regression
+// baseline. Methodology follows the engine bench artifact: one warm-up,
+// then best-of-reps over fixed-size op batches to shed scheduler noise.
+package gcbench_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gcbench"
+)
+
+type designBenchArtifact struct {
+	Workers    int                 `json:"workers"`
+	Benchmarks []designBenchResult `json:"benchmarks"`
+}
+
+type designBenchResult struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	// OpSeconds is the best-of-reps per-operation time.
+	OpSeconds float64 `json:"opSeconds"`
+	// SpeedupVsBaseline is baseline-mode OpSeconds / this OpSeconds
+	// (1.0 for the baseline row itself).
+	SpeedupVsBaseline float64 `json:"speedupVsBaseline"`
+}
+
+// designBenchPool mirrors the ensemble package's deterministic LCG pool
+// so the artifact measures the same point distribution as the in-package
+// benchmarks.
+func designBenchPool(n int, seed uint64) []gcbench.Vector {
+	pool := make([]gcbench.Vector, n)
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	for i := range pool {
+		for d := range pool[i] {
+			pool[i][d] = next()
+		}
+	}
+	return pool
+}
+
+func designBenchCorpus(n int) []*gcbench.Run {
+	runs := make([]*gcbench.Run, n)
+	s := uint64(424242)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	for i := range runs {
+		var raw gcbench.Vector
+		for d := range raw {
+			raw[d] = next()
+		}
+		runs[i] = &gcbench.Run{
+			Algorithm: "PR", Domain: "Graph Analytics",
+			NumEdges: int64(1000 + int(next()*100_000_000)), Alpha: 2 + next(),
+			SizeLabel: "bench", Iterations: 10, Raw: raw,
+		}
+	}
+	return runs
+}
+
+// measureOp times reps batches of ops calls to fn and returns the
+// per-op seconds of the fastest batch, after one warm-up batch.
+func measureOp(t *testing.T, ops, reps int, fn func(i int)) float64 {
+	t.Helper()
+	for i := 0; i < ops; i++ {
+		fn(i)
+	}
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			fn(i)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best.Seconds() / float64(ops)
+}
+
+// TestWriteDesignBenchArtifact measures the design-path benchmarks and
+// writes BENCH_design.json when GCBENCH_DESIGN_BENCH_ARTIFACT names the
+// output path. It enforces the ISSUE's acceptance bar: incremental
+// coverage evaluation at least 10x faster than the naive full recompute
+// at the serving configuration (n=120 pool, k=12 ensemble, 10^6
+// samples). Prediction speedup is recorded but not gated — at serving
+// corpus sizes the linear scan is already microseconds.
+func TestWriteDesignBenchArtifact(t *testing.T) {
+	out := os.Getenv("GCBENCH_DESIGN_BENCH_ARTIFACT")
+	if out == "" {
+		t.Skip("set GCBENCH_DESIGN_BENCH_ARTIFACT=<path> to measure and write the design bench artifact")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	art := designBenchArtifact{Workers: workers}
+
+	// --- Coverage: incremental swap eval vs naive full recompute -----
+	const poolN, k = 120, 12
+	pool := designBenchPool(poolN, 5)
+	est, err := gcbench.NewCoverageEstimator(gcbench.DefaultCoverageSamples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := gcbench.NewIncrementalCoverage(est, pool[:k])
+	if err != nil {
+		t.Fatal(err)
+	}
+	incSec := measureOp(t, 200, 5, func(i int) {
+		ic.EvalSwap(i%k, pool[k+i%(poolN-k)])
+	})
+	members := append([]gcbench.Vector(nil), pool[:k]...)
+	naiveSec := measureOp(t, 3, 3, func(i int) {
+		old := members[i%k]
+		members[i%k] = pool[k+i%(poolN-k)]
+		est.Coverage(members)
+		members[i%k] = old
+	})
+	covSpeedup := naiveSec / incSec
+	art.Benchmarks = append(art.Benchmarks,
+		designBenchResult{Name: "CoverageSwapEval", Mode: "naive", OpSeconds: naiveSec, SpeedupVsBaseline: 1},
+		designBenchResult{Name: "CoverageSwapEval", Mode: "incremental", OpSeconds: incSec, SpeedupVsBaseline: covSpeedup},
+	)
+	t.Logf("coverage swap eval: incremental %.3gs/op, naive %.3gs/op — %.1fx", incSec, naiveSec, covSpeedup)
+	if covSpeedup < 10 {
+		t.Errorf("incremental coverage speedup %.1fx, want >= 10x (n=%d, k=%d, %d samples)",
+			covSpeedup, poolN, k, gcbench.DefaultCoverageSamples)
+	}
+
+	// --- Prediction: indexed exact-hit lookup vs linear scan ---------
+	runs := designBenchCorpus(4096)
+	p, err := gcbench.NewPredictor(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]gcbench.PredictQuery, len(runs))
+	for i, r := range runs {
+		queries[i] = gcbench.PredictQuery{Algorithm: r.Algorithm, NumEdges: r.NumEdges, Alpha: r.Alpha}
+	}
+	idxSec := measureOp(t, 2000, 5, func(i int) {
+		if _, err := p.Predict(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	linSec := measureOp(t, 2000, 5, func(i int) {
+		if _, err := p.PredictNaive(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	predSpeedup := linSec / idxSec
+	art.Benchmarks = append(art.Benchmarks,
+		designBenchResult{Name: "PredictExactHit", Mode: "linear", OpSeconds: linSec, SpeedupVsBaseline: 1},
+		designBenchResult{Name: "PredictExactHit", Mode: "indexed", OpSeconds: idxSec, SpeedupVsBaseline: predSpeedup},
+	)
+	t.Logf("predict exact hit (n=4096): indexed %.3gs/op, linear %.3gs/op — %.1fx", idxSec, linSec, predSpeedup)
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

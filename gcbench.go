@@ -31,6 +31,7 @@ import (
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
 	"gcbench/internal/jobs"
+	"gcbench/internal/nnindex"
 	"gcbench/internal/obs"
 	"gcbench/internal/predict"
 	"gcbench/internal/report"
@@ -298,6 +299,15 @@ var (
 // CoverageEstimator Monte-Carlo-estimates ensemble coverage.
 type CoverageEstimator = ensemble.CoverageEstimator
 
+// IncrementalCoverage caches per-sample nearest-member assignments over
+// an estimator's sample grid so a member swap or addition re-scores only
+// the affected cells — bit-identical to a fresh Monte-Carlo estimate
+// (the differential harness in internal/ensemble pins this).
+type IncrementalCoverage = ensemble.IncrementalCoverage
+
+// NewIncrementalCoverage builds the incremental state for a member set.
+var NewIncrementalCoverage = ensemble.NewIncrementalCoverage
+
 // Scored is an ensemble with its metric value.
 type Scored = ensemble.Scored
 
@@ -438,6 +448,18 @@ type Prediction = predict.Prediction
 var (
 	NewPredictor       = predict.New
 	PredictLeaveOneOut = predict.LeaveOneOut
+)
+
+// NNIndex is an exact k-d nearest-neighbor index over behavior vectors —
+// the structure behind Predictor's O(log n) exact-hit lookups. Nearest
+// returns bit-identical results to NearestLinear, ties included.
+type NNIndex = nnindex.Index
+
+// Spatial-index entry points. NearestLinear is the linear-scan oracle
+// the index is differentially tested against.
+var (
+	BuildNNIndex  = nnindex.Build
+	NearestLinear = nnindex.NearestLinear
 )
 
 // --- Reports (figures and tables) ---

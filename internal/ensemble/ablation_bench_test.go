@@ -38,7 +38,7 @@ func randomPoolB(n int, seed uint64) []behavior.Vector {
 	return pool
 }
 
-func BenchmarkCoverageIncremental(b *testing.B) {
+func BenchmarkCoverageWithCachedMin(b *testing.B) {
 	cov, pool, minDist := benchPoolAndEstimator(b, 200_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -52,6 +52,45 @@ func BenchmarkCoverageFullRecompute(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cov.Coverage(append(base, pool[9+i%32]))
+	}
+}
+
+// The ISSUE's headline pair: swap evaluation through the grid-backed
+// IncrementalCoverage (only affected cells rescanned) vs a full
+// Monte-Carlo coverage recompute of the proposed set. This is the inner
+// loop of exchange and annealing at serving-size pools (n=120, k=12).
+
+func benchIncrementalSetup(b *testing.B, samples int) (*IncrementalCoverage, *CoverageEstimator, []behavior.Vector) {
+	b.Helper()
+	cov, err := NewCoverageEstimator(samples, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := randomPoolB(120, 5)
+	ic, err := NewIncrementalCoverage(cov, pool[:12])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ic, cov, pool
+}
+
+func BenchmarkCoverageIncremental(b *testing.B) {
+	ic, _, pool := benchIncrementalSetup(b, 200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ic.EvalSwap(i%12, pool[12+i%108])
+	}
+}
+
+func BenchmarkCoverageNaive(b *testing.B) {
+	_, cov, pool := benchIncrementalSetup(b, 200_000)
+	members := append([]behavior.Vector(nil), pool[:12]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		old := members[i%12]
+		members[i%12] = pool[12+i%108]
+		cov.Coverage(members)
+		members[i%12] = old
 	}
 }
 

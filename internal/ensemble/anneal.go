@@ -161,14 +161,20 @@ func AnnealCoverageCtx(ctx context.Context, cov *CoverageEstimator, pool []behav
 	for _, m := range cur {
 		inSet[m] = true
 	}
-	eval := func(members []int) float64 {
-		pts := make([]behavior.Vector, len(members))
-		for i, m := range members {
-			pts[i] = pool[m]
-		}
-		return cov.Coverage(pts)
+	pts := make([]behavior.Vector, k)
+	for i, m := range cur {
+		pts[i] = pool[m]
 	}
-	curCov := eval(cur)
+	// Proposals are scored through IncrementalCoverage.EvalSwap: only the
+	// sample cells the swap can affect are rescanned, with results
+	// bit-identical to the full Monte-Carlo evaluation this loop used to
+	// run per proposal (pinned by TestAnnealCoverageTraceMatchesNaive) —
+	// the RNG stream and accept/reject decisions are unchanged.
+	ic, err := NewIncrementalCoverage(cov, pts)
+	if err != nil {
+		return nil, 0, err
+	}
+	curCov := ic.Coverage()
 	best := append([]int(nil), cur...)
 	bestCov := curCov
 
@@ -183,19 +189,18 @@ func AnnealCoverageCtx(ctx context.Context, cov *CoverageEstimator, pool []behav
 			continue
 		}
 		old := cur[pos]
-		cur[pos] = cand
-		c := eval(cur)
+		c := ic.EvalSwap(pos, pool[cand])
 		delta := c - curCov
 		if delta >= 0 || r.Float64() < math.Exp(delta/math.Max(curCov, 1e-9)/math.Max(t, 1e-9)) {
 			delete(inSet, old)
 			inSet[cand] = true
+			cur[pos] = cand
+			ic.Swap(pos, pool[cand])
 			curCov = c
 			if c > bestCov {
 				bestCov = c
 				copy(best, cur)
 			}
-		} else {
-			cur[pos] = old
 		}
 	}
 	return best, bestCov, nil

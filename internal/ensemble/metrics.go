@@ -60,13 +60,42 @@ func SpreadOf(pool []behavior.Vector, idx []int) float64 {
 // and reuses the sample set for every coverage evaluation, so comparisons
 // between ensembles are exact (same sample noise) and incremental greedy
 // selection is cheap. The paper uses one million samples (§5.1).
+//
+// The samples are stored grouped by a uniform grid over the hypercube
+// (grid cells per axis, cell-major order, original draw order preserved
+// within each cell). The grid is what makes IncrementalCoverage's
+// dirty-cell rescoring possible: a member swap touches only the cells
+// whose samples it could affect, and each cell carries a tight bounding
+// box (cellLo/cellHi, from the actual sample coordinates) so whole cells
+// are skipped by a single box-distance test. Coverage totals are always
+// accumulated per cell and then across cells in cell order — the
+// canonical summation both the fresh and incremental paths share, which
+// is what makes them bit-identical (see DESIGN.md §13).
 type CoverageEstimator struct {
 	samples []behavior.Vector
 	workers int
+	// grid is the number of cells per axis (≥1). cellStart has
+	// numCells+1 entries; samples[cellStart[c]:cellStart[c+1]] is cell c.
+	grid      int
+	cellStart []int
+	cellLo    []behavior.Vector
+	cellHi    []behavior.Vector
 }
 
 // DefaultSamples matches the paper's sample count.
 const DefaultSamples = 1_000_000
+
+// gridResolution picks cells-per-axis so a cell holds ≥256 samples on
+// average (enough to amortize the per-cell box test), capped at 10 per
+// axis. Below 4096 samples the grid degenerates to a single cell and the
+// estimator behaves exactly like the historical flat implementation.
+func gridResolution(numSamples int) int {
+	g := 1
+	for g < 10 && (g+1)*(g+1)*(g+1)*(g+1)*256 <= numSamples {
+		g++
+	}
+	return g
+}
 
 // NewCoverageEstimator draws numSamples uniform points with a fixed seed.
 func NewCoverageEstimator(numSamples int, seed uint64) (*CoverageEstimator, error) {
@@ -80,7 +109,98 @@ func NewCoverageEstimator(numSamples int, seed uint64) (*CoverageEstimator, erro
 			samples[i][d] = r.Float64()
 		}
 	}
-	return &CoverageEstimator{samples: samples, workers: runtime.GOMAXPROCS(0)}, nil
+	c := &CoverageEstimator{samples: samples, workers: runtime.GOMAXPROCS(0)}
+	c.buildGrid(gridResolution(numSamples))
+	return c, nil
+}
+
+// cellOf buckets a point into its grid cell id (dim-major).
+func (c *CoverageEstimator) cellOf(s behavior.Vector) int {
+	id := 0
+	for d := 0; d < behavior.Dims; d++ {
+		b := int(s[d] * float64(c.grid))
+		if b >= c.grid {
+			b = c.grid - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		id = id*c.grid + b
+	}
+	return id
+}
+
+// buildGrid regroups the samples cell-major (stable: draw order is kept
+// within each cell) and computes per-cell tight bounding boxes.
+func (c *CoverageEstimator) buildGrid(g int) {
+	c.grid = g
+	numCells := g * g * g * g
+	counts := make([]int, numCells)
+	for _, s := range c.samples {
+		counts[c.cellOf(s)]++
+	}
+	c.cellStart = make([]int, numCells+1)
+	for ci := 0; ci < numCells; ci++ {
+		c.cellStart[ci+1] = c.cellStart[ci] + counts[ci]
+	}
+	ordered := make([]behavior.Vector, len(c.samples))
+	next := append([]int(nil), c.cellStart[:numCells]...)
+	for _, s := range c.samples {
+		ci := c.cellOf(s)
+		ordered[next[ci]] = s
+		next[ci]++
+	}
+	c.samples = ordered
+
+	c.cellLo = make([]behavior.Vector, numCells)
+	c.cellHi = make([]behavior.Vector, numCells)
+	for ci := 0; ci < numCells; ci++ {
+		lo, hi := c.cellLo[ci], c.cellHi[ci]
+		for d := 0; d < behavior.Dims; d++ {
+			lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+		}
+		for _, s := range c.samples[c.cellStart[ci]:c.cellStart[ci+1]] {
+			for d := 0; d < behavior.Dims; d++ {
+				if s[d] < lo[d] {
+					lo[d] = s[d]
+				}
+				if s[d] > hi[d] {
+					hi[d] = s[d]
+				}
+			}
+		}
+		c.cellLo[ci], c.cellHi[ci] = lo, hi
+	}
+}
+
+// numCells returns the grid cell count (0 for a zero-value estimator,
+// which has no grid and falls back to flat summation).
+func (c *CoverageEstimator) numCells() int {
+	if len(c.cellStart) == 0 {
+		return 0
+	}
+	return len(c.cellStart) - 1
+}
+
+// boxDistance returns a lower bound on the distance from p to any sample
+// in cell ci, computed with the same dimension-order accumulation and
+// square root as behavior.Distance. Monotonicity of correctly-rounded
+// float operations makes the computed bound ≤ the computed
+// behavior.Distance of every sample in the box, so comparisons against
+// it never wrongly skip a cell.
+func (c *CoverageEstimator) boxDistance(ci int, p behavior.Vector) float64 {
+	lo, hi := &c.cellLo[ci], &c.cellHi[ci]
+	var s float64
+	for d := 0; d < behavior.Dims; d++ {
+		var diff float64
+		if p[d] < lo[d] {
+			diff = lo[d] - p[d]
+		} else if p[d] > hi[d] {
+			diff = p[d] - hi[d]
+		}
+		s += diff * diff
+	}
+	return math.Sqrt(s)
 }
 
 // NumSamples returns the sample count.
@@ -104,9 +224,25 @@ func (c *CoverageEstimator) coverageFromMin(minDist []float64) float64 {
 	if len(minDist) == 0 {
 		return 0
 	}
+	// Canonical summation: per-cell sequential sums, then a sequential
+	// sum across cells in cell order. IncrementalCoverage caches the
+	// per-cell sums and reproduces this exact accumulation, which is what
+	// makes the fast path bit-identical to this fresh one. With one cell
+	// (small estimators, zero-value estimators) this is the historical
+	// flat sum.
 	var sum float64
-	for _, d := range minDist {
-		sum += d
+	if nc := c.numCells(); nc > 1 && len(minDist) == len(c.samples) {
+		for ci := 0; ci < nc; ci++ {
+			var cellSum float64
+			for _, d := range minDist[c.cellStart[ci]:c.cellStart[ci+1]] {
+				cellSum += d
+			}
+			sum += cellSum
+		}
+	} else {
+		for _, d := range minDist {
+			sum += d
+		}
 	}
 	if sum == 0 {
 		return math.Inf(1)

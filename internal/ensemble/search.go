@@ -287,16 +287,31 @@ func BestCoverageGreedy(cov *CoverageEstimator, pool []behavior.Vector, idx []in
 }
 
 // BestCoverageGreedyCtx is BestCoverageGreedy with cooperative
-// cancellation, checked before every candidate's Monte-Carlo evaluation
-// (the dominant cost of a coverage search step).
+// cancellation, checked before every candidate's evaluation (the
+// dominant cost of a coverage search step).
+//
+// Candidate evaluation goes through IncrementalCoverage.EvalAdd, which
+// rescans only the sample cells the candidate could improve yet returns
+// exactly what a fresh full Monte-Carlo estimate would — so the greedy
+// trace is identical to the full-recompute implementation it replaced
+// (pinned by TestCoverageGreedyTraceMatchesNaive), just cheaper.
 func BestCoverageGreedyCtx(ctx context.Context, cov *CoverageEstimator, pool []behavior.Vector, idx []int, maxSize int) ([][]int, error) {
 	n := len(idx)
 	if maxSize > n {
 		maxSize = n
 	}
 	out := make([][]int, maxSize+1)
+	if n == 0 || maxSize <= 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ic, err := NewIncrementalCoverage(cov, nil)
+	if err != nil {
+		return nil, err
+	}
 	var members []int
-	var minDist []float64
 	inSet := make([]bool, n)
 	for k := 1; k <= maxSize; k++ {
 		bestJ := -1
@@ -308,7 +323,7 @@ func BestCoverageGreedyCtx(ctx context.Context, cov *CoverageEstimator, pool []b
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if c := cov.CoverageWith(minDist, pool[idx[j]]); c > bestCov {
+			if c := ic.EvalAdd(pool[idx[j]]); c > bestCov {
 				bestCov, bestJ = c, j
 			}
 		}
@@ -317,7 +332,7 @@ func BestCoverageGreedyCtx(ctx context.Context, cov *CoverageEstimator, pool []b
 		}
 		inSet[bestJ] = true
 		members = append(members, idx[bestJ])
-		minDist = cov.MinDistances(minDist, []behavior.Vector{pool[idx[bestJ]]})
+		ic.Add(pool[idx[bestJ]])
 		set := append([]int(nil), members...)
 		sort.Ints(set)
 		out[k] = set
@@ -326,11 +341,12 @@ func BestCoverageGreedyCtx(ctx context.Context, cov *CoverageEstimator, pool []b
 }
 
 // ImproveCoverageExchange refines a coverage ensemble by swapping members
-// with outside candidates while any swap improves coverage. Each swap
-// evaluation is a full Monte-Carlo pass over the estimator's samples, so
-// pass a moderately sized estimator for large pools. Deterministic; the
-// pass budget is smaller than the spread exchange's because evaluations
-// are ~10^4× costlier.
+// with outside candidates while any swap improves coverage. Swap
+// proposals are scored through IncrementalCoverage.EvalSwap — dirty-cell
+// rescoring instead of a full Monte-Carlo pass — with results
+// bit-identical to the fresh estimates the full-recompute implementation
+// used (pinned by TestCoverageExchangeTraceMatchesNaive), so the pass
+// budget no longer needs to be tight. Deterministic.
 func ImproveCoverageExchange(cov *CoverageEstimator, pool []behavior.Vector, members, candidates []int) []int {
 	out, _ := ImproveCoverageExchangeCtx(context.Background(), cov, pool, members, candidates)
 	return out
@@ -340,14 +356,18 @@ func ImproveCoverageExchange(cov *CoverageEstimator, pool []behavior.Vector, mem
 // cancellation, checked before every candidate evaluation.
 func ImproveCoverageExchangeCtx(ctx context.Context, cov *CoverageEstimator, pool []behavior.Vector, members, candidates []int) ([]int, error) {
 	cur := append([]int(nil), members...)
-	pts := func(set []int) []behavior.Vector {
-		out := make([]behavior.Vector, len(set))
-		for i, m := range set {
-			out[i] = pool[m]
-		}
-		return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	curCov := cov.Coverage(pts(cur))
+	pts := make([]behavior.Vector, len(cur))
+	for i, m := range cur {
+		pts[i] = pool[m]
+	}
+	ic, err := NewIncrementalCoverage(cov, pts)
+	if err != nil {
+		return nil, err
+	}
+	curCov := ic.Coverage()
 	inSet := make(map[int]bool, len(cur))
 	for _, m := range cur {
 		inSet[m] = true
@@ -364,10 +384,7 @@ func ImproveCoverageExchangeCtx(ctx context.Context, cov *CoverageEstimator, poo
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				old := cur[pos]
-				cur[pos] = cand
-				c := cov.Coverage(pts(cur))
-				cur[pos] = old
+				c := ic.EvalSwap(pos, pool[cand])
 				if gain := c - curCov; gain > bestGain {
 					bestGain, bestPos, bestCand = gain, pos, cand
 				}
@@ -378,8 +395,10 @@ func ImproveCoverageExchangeCtx(ctx context.Context, cov *CoverageEstimator, poo
 		}
 		delete(inSet, cur[bestPos])
 		inSet[bestCand] = true
-		curCov += bestGain
 		cur[bestPos] = bestCand
+		// Exact, not curCov += bestGain: committing re-reads the updated
+		// cell sums, so accumulated float drift can't steer later passes.
+		curCov = ic.Swap(bestPos, pool[bestCand])
 	}
 	sort.Ints(cur)
 	return cur, nil

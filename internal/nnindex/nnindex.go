@@ -1,0 +1,193 @@
+// Package nnindex provides an exact nearest-neighbor index over behavior
+// vectors: a k-d tree whose queries return bit-identical results to a
+// linear scan — the same nearest index, the same squared distance, the
+// same tie-breaking — in O(log n) expected time instead of O(n).
+//
+// Exactness is the point. The index serves hot query paths (the §7
+// behavior predictor, incremental coverage maintenance) whose results
+// must be provably interchangeable with the brute-force implementations
+// they replace, so NearestLinear is retained as the differential-test
+// oracle and the tree is engineered to agree with it on every input:
+//
+//   - Distances are accumulated by Dist2 in dimension order on both
+//     paths, so the two computations produce the same float64s.
+//   - Ties on distance resolve to the smallest point index on both
+//     paths. The tree compares (dist², index) at every visit, and only
+//     prunes a subtree when the splitting plane is strictly farther
+//     than the current best — a plane exactly at the best distance is
+//     descended, so an equal-distance smaller-index point can never be
+//     skipped.
+//   - Plane pruning compares fl((q[axis]-split)²) against the best
+//     dist². For any point p beyond the plane the computed Dist2(q, p)
+//     is ≥ the computed plane term (floating-point summation of
+//     non-negative terms never rounds below any single term, and
+//     rounding is monotone), so strict pruning never discards a
+//     candidate the linear scan would have chosen.
+package nnindex
+
+import (
+	"math"
+	"sort"
+
+	"gcbench/internal/behavior"
+)
+
+// Dist2 returns the squared Euclidean distance between two behavior
+// vectors, accumulated in dimension order (the same order
+// behavior.Distance uses before its square root), so index and oracle
+// compare identical float64 values.
+func Dist2(a, b behavior.Vector) float64 {
+	var s float64
+	for d := 0; d < behavior.Dims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// NearestLinear is the brute-force oracle: it scans points in index
+// order and returns the index of the nearest point to q and the squared
+// distance, breaking distance ties toward the smaller index. An empty
+// slice yields (-1, +Inf).
+func NearestLinear(points []behavior.Vector, q behavior.Vector) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i := range points {
+		// Strict < keeps the first (smallest-index) point among ties.
+		if d := Dist2(points[i], q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// leafSize is the subtree size below which the tree stores a flat run
+// of points and queries scan it directly; below ~8 points the scan is
+// cheaper than further branching.
+const leafSize = 8
+
+// node is one k-d tree node. Leaves hold a contiguous range of the
+// order permutation; internal nodes hold a splitting plane and children.
+type node struct {
+	axis  int8
+	split float64
+	// left/right index into Index.nodes; -1 marks a leaf.
+	left, right int32
+	// lo/hi bound the leaf's range in Index.order.
+	lo, hi int32
+}
+
+// Index is an immutable k-d tree over a point set. Build once, query
+// from any number of goroutines concurrently.
+type Index struct {
+	pts   []behavior.Vector
+	order []int32
+	nodes []node
+	root  int32
+}
+
+// Build constructs the index. The points are copied, so later mutation
+// of the caller's slice does not corrupt queries. A nil or empty slice
+// yields an index whose Nearest returns (-1, +Inf).
+func Build(points []behavior.Vector) *Index {
+	ix := &Index{
+		pts:   append([]behavior.Vector(nil), points...),
+		order: make([]int32, len(points)),
+		root:  -1,
+	}
+	for i := range ix.order {
+		ix.order[i] = int32(i)
+	}
+	if len(points) > 0 {
+		ix.root = ix.build(0, int32(len(points)))
+	}
+	return ix
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// build lays out the subtree over order[lo:hi] and returns its node id.
+func (ix *Index) build(lo, hi int32) int32 {
+	if hi-lo <= leafSize {
+		ix.nodes = append(ix.nodes, node{left: -1, right: -1, lo: lo, hi: hi})
+		return int32(len(ix.nodes) - 1)
+	}
+	// Split the widest-spread axis: better balance than round-robin on
+	// the anisotropic point sets predict's feature embeddings produce.
+	axis := 0
+	bestRange := -1.0
+	for d := 0; d < behavior.Dims; d++ {
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, i := range ix.order[lo:hi] {
+			v := ix.pts[i][d]
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if r := maxV - minV; r > bestRange {
+			bestRange, axis = r, d
+		}
+	}
+	sub := ix.order[lo:hi]
+	// Sort by (coordinate, index) for a deterministic layout independent
+	// of input permutation history.
+	sort.Slice(sub, func(a, b int) bool {
+		ca, cb := ix.pts[sub[a]][axis], ix.pts[sub[b]][axis]
+		if ca != cb {
+			return ca < cb
+		}
+		return sub[a] < sub[b]
+	})
+	mid := (lo + hi) / 2
+	// Left gets coordinates ≤ split, right gets ≥ split; points equal to
+	// the split value may land on either side, which pruning tolerates.
+	n := node{axis: int8(axis), split: ix.pts[ix.order[mid]][axis]}
+	id := int32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, n)
+	l := ix.build(lo, mid)
+	r := ix.build(mid, hi)
+	ix.nodes[id].left = l
+	ix.nodes[id].right = r
+	return id
+}
+
+// Nearest returns the index of the nearest point to q and the squared
+// distance — bit-identical to NearestLinear on the same point set,
+// including tie-breaking toward the smaller index.
+func (ix *Index) Nearest(q behavior.Vector) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	if ix.root >= 0 {
+		ix.search(ix.root, q, &best, &bestD)
+	}
+	return best, bestD
+}
+
+func (ix *Index) search(id int32, q behavior.Vector, best *int, bestD *float64) {
+	n := &ix.nodes[id]
+	if n.left < 0 {
+		for _, i := range ix.order[n.lo:n.hi] {
+			d := Dist2(ix.pts[i], q)
+			// The traversal visits points out of index order, so ties
+			// must compare indices explicitly to match the oracle.
+			if d < *bestD || (d == *bestD && int(i) < *best) {
+				*best, *bestD = int(i), d
+			}
+		}
+		return
+	}
+	near, far := n.left, n.right
+	if q[n.axis] >= n.split {
+		near, far = far, near
+	}
+	ix.search(near, q, best, bestD)
+	// Descend the far side unless the splitting plane is strictly
+	// farther than the best: an equal-distance point beyond the plane
+	// could still win its tie on index.
+	diff := q[n.axis] - n.split
+	if diff*diff <= *bestD {
+		ix.search(far, q, best, bestD)
+	}
+}

@@ -1,0 +1,192 @@
+package nnindex
+
+import (
+	"math"
+	"testing"
+
+	"gcbench/internal/behavior"
+	"gcbench/internal/rng"
+)
+
+func randomPoints(n int, r *rng.Source) []behavior.Vector {
+	pts := make([]behavior.Vector, n)
+	for i := range pts {
+		for d := 0; d < behavior.Dims; d++ {
+			pts[i][d] = r.Float64()
+		}
+	}
+	return pts
+}
+
+// checkAgainstOracle asserts Index.Nearest == NearestLinear for every
+// query: same index, bit-identical squared distance.
+func checkAgainstOracle(t *testing.T, ix *Index, pts []behavior.Vector, queries []behavior.Vector, label string) {
+	t.Helper()
+	for qi, q := range queries {
+		wantI, wantD := NearestLinear(pts, q)
+		gotI, gotD := ix.Nearest(q)
+		if gotI != wantI || gotD != wantD {
+			t.Fatalf("%s query %d: indexed = (%d, %v), linear = (%d, %v)",
+				label, qi, gotI, gotD, wantI, wantD)
+		}
+	}
+}
+
+// TestNearestMatchesLinearRandom is the satellite property test: for
+// randomized pools up to n=500, the indexed NN result equals the
+// linear-scan NN for every query — index, distance, and tie-breaking.
+func TestNearestMatchesLinearRandom(t *testing.T) {
+	sizes := []int{1, 2, 3, 7, 8, 9, 16, 33, 100, 251, 500}
+	for _, n := range sizes {
+		for seed := uint64(1); seed <= 5; seed++ {
+			r := rng.New(seed*1000 + uint64(n))
+			pts := randomPoints(n, r)
+			ix := Build(pts)
+			// Random queries plus every point itself (exact hits) and
+			// slight perturbations (near-ties at leaf boundaries).
+			queries := randomPoints(200, r)
+			queries = append(queries, pts...)
+			for _, p := range pts {
+				p[0] += 1e-9
+				queries = append(queries, p)
+			}
+			checkAgainstOracle(t, ix, pts, queries, "random")
+		}
+	}
+}
+
+// TestNearestTieBreaking plants exact duplicate points so multiple
+// indices share the minimum distance; both paths must return the
+// smallest index.
+func TestNearestTieBreaking(t *testing.T) {
+	r := rng.New(42)
+	base := randomPoints(60, r)
+	// Duplicate a third of the points at scattered positions, including
+	// duplicates of the same point (three-way ties).
+	pts := append([]behavior.Vector(nil), base...)
+	for i := 0; i < 20; i++ {
+		pts = append(pts, base[i*3%len(base)])
+	}
+	for i := 0; i < 5; i++ {
+		pts = append(pts, base[7])
+	}
+	ix := Build(pts)
+	queries := append(randomPoints(300, r), pts...)
+	checkAgainstOracle(t, ix, pts, queries, "ties")
+
+	// Symmetric ties without duplicates: query equidistant from two
+	// points (coordinates chosen exactly representable so the two
+	// distances are bit-equal). The smaller index must win.
+	sym := []behavior.Vector{{0.75, 0.5, 0.5, 0.5}, {0.25, 0.5, 0.5, 0.5}}
+	ixs := Build(sym)
+	q := behavior.Vector{0.5, 0.5, 0.5, 0.5}
+	wantI, wantD := NearestLinear(sym, q)
+	gotI, gotD := ixs.Nearest(q)
+	if wantI != 0 {
+		t.Fatalf("oracle broke its own tie rule: %d", wantI)
+	}
+	if gotI != wantI || gotD != wantD {
+		t.Fatalf("symmetric tie: indexed (%d, %v), linear (%d, %v)", gotI, gotD, wantI, wantD)
+	}
+}
+
+// TestNearestExhaustiveSmallN checks every pool size 0..2·leafSize+3
+// (covering the leaf/internal transition) against a dense grid of
+// queries, with coordinates drawn from a tiny value set to force heavy
+// tie and boundary collisions.
+func TestNearestExhaustiveSmallN(t *testing.T) {
+	vals := []float64{0, 0.25, 0.5, 0.75, 1}
+	r := rng.New(7)
+	for n := 0; n <= 2*leafSize+3; n++ {
+		for trial := 0; trial < 30; trial++ {
+			pts := make([]behavior.Vector, n)
+			for i := range pts {
+				for d := 0; d < behavior.Dims; d++ {
+					pts[i][d] = vals[r.Intn(len(vals))]
+				}
+			}
+			ix := Build(pts)
+			if ix.Len() != n {
+				t.Fatalf("Len = %d, want %d", ix.Len(), n)
+			}
+			// Queries: all grid corners of the value set on two axes plus
+			// random points and the points themselves.
+			var queries []behavior.Vector
+			for _, a := range vals {
+				for _, b := range vals {
+					queries = append(queries, behavior.Vector{a, b, 0.5, 0.5})
+				}
+			}
+			queries = append(queries, randomPoints(50, r)...)
+			queries = append(queries, pts...)
+			checkAgainstOracle(t, ix, pts, queries, "exhaustive")
+		}
+	}
+}
+
+// TestEmptyIndex: no points means no neighbor.
+func TestEmptyIndex(t *testing.T) {
+	for _, pts := range [][]behavior.Vector{nil, {}} {
+		ix := Build(pts)
+		i, d := ix.Nearest(behavior.Vector{0.5, 0.5, 0.5, 0.5})
+		if i != -1 || !math.IsInf(d, 1) {
+			t.Fatalf("empty index Nearest = (%d, %v), want (-1, +Inf)", i, d)
+		}
+	}
+}
+
+// TestBuildCopiesPoints: mutating the caller's slice after Build must
+// not change query results.
+func TestBuildCopiesPoints(t *testing.T) {
+	r := rng.New(11)
+	pts := randomPoints(64, r)
+	orig := append([]behavior.Vector(nil), pts...)
+	ix := Build(pts)
+	for i := range pts {
+		pts[i] = behavior.Vector{9, 9, 9, 9}
+	}
+	checkAgainstOracle(t, ix, orig, randomPoints(100, r), "copied")
+}
+
+// TestDegeneratePools: all-identical points and collinear points stress
+// zero-range axis selection and splitting.
+func TestDegeneratePools(t *testing.T) {
+	same := make([]behavior.Vector, 40)
+	for i := range same {
+		same[i] = behavior.Vector{0.3, 0.3, 0.3, 0.3}
+	}
+	ix := Build(same)
+	q := behavior.Vector{0.9, 0.1, 0.5, 0.5}
+	if i, _ := ix.Nearest(q); i != 0 {
+		t.Fatalf("identical-point pool: nearest = %d, want 0", i)
+	}
+
+	line := make([]behavior.Vector, 50)
+	for i := range line {
+		line[i] = behavior.Vector{float64(i) / 49, 0.5, 0.5, 0.5}
+	}
+	ixl := Build(line)
+	r := rng.New(13)
+	checkAgainstOracle(t, ixl, line, randomPoints(200, r), "collinear")
+}
+
+func BenchmarkNearestIndexed(b *testing.B) {
+	r := rng.New(99)
+	pts := randomPoints(500, r)
+	ix := Build(pts)
+	queries := randomPoints(1024, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Nearest(queries[i&1023])
+	}
+}
+
+func BenchmarkNearestLinear(b *testing.B) {
+	r := rng.New(99)
+	pts := randomPoints(500, r)
+	queries := randomPoints(1024, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NearestLinear(pts, queries[i&1023])
+	}
+}

@@ -10,6 +10,13 @@
 // local interpolation is a credible baseline predictor — and its
 // leave-one-out error doubles as a quantitative check of the paper's
 // smoothness observations.
+//
+// Queries are served through a per-algorithm nnindex k-d tree: the
+// exact-hit check (is the queried configuration already measured?) is an
+// O(log n) nearest-neighbor lookup instead of a linear scan, which is
+// the hot path when clients re-query measured configurations. The
+// linear-scan implementation is retained as PredictNaive, the oracle the
+// differential tests hold Predict bit-identical to.
 package predict
 
 import (
@@ -17,11 +24,18 @@ import (
 	"math"
 
 	"gcbench/internal/behavior"
+	"gcbench/internal/nnindex"
 )
 
-// Predictor interpolates behavior vectors from a corpus.
+// Predictor interpolates behavior vectors from a corpus. Immutable after
+// New; safe for concurrent queries.
 type Predictor struct {
 	byAlg map[string][]sample
+	// feats embeds each algorithm's samples into the scaled feature
+	// space (featureOf); index is the k-d tree over those points, in the
+	// same order as byAlg's samples.
+	feats map[string][]behavior.Vector
+	index map[string]*nnindex.Index
 }
 
 type sample struct {
@@ -29,6 +43,19 @@ type sample struct {
 	alpha   float64
 	raw     behavior.Vector
 	iters   float64
+}
+
+// alphaScale balances the feature axes: alpha spans ~1 while log size
+// spans ~3-4 units.
+const alphaScale = 3.0
+
+// featureOf embeds a (log10 size, alpha) pair into the behavior-vector
+// type the index is built over (the two trailing dimensions stay zero).
+// All distances — hit detection and interpolation weights — are computed
+// between these embedded points, so indexed and naive paths compare
+// identical float64s.
+func featureOf(logSize, alpha float64) behavior.Vector {
+	return behavior.Vector{logSize, alphaScale * alpha}
 }
 
 // Query identifies the computation whose behavior to predict.
@@ -53,24 +80,44 @@ func New(runs []*behavior.Run) (*Predictor, error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("predict: empty corpus")
 	}
-	p := &Predictor{byAlg: map[string][]sample{}}
+	p := &Predictor{
+		byAlg: map[string][]sample{},
+		feats: map[string][]behavior.Vector{},
+		index: map[string]*nnindex.Index{},
+	}
 	for _, r := range runs {
 		if r.NumEdges <= 0 {
 			continue
 		}
-		p.byAlg[r.Algorithm] = append(p.byAlg[r.Algorithm], sample{
+		s := sample{
 			logSize: math.Log10(float64(r.NumEdges)),
 			alpha:   r.Alpha,
 			raw:     r.Raw,
 			iters:   float64(r.Iterations),
-		})
+		}
+		p.byAlg[r.Algorithm] = append(p.byAlg[r.Algorithm], s)
+		p.feats[r.Algorithm] = append(p.feats[r.Algorithm], featureOf(s.logSize, s.alpha))
+	}
+	for alg, feats := range p.feats {
+		p.index[alg] = nnindex.Build(feats)
 	}
 	return p, nil
 }
 
-// Predict interpolates the behavior of the queried computation. It errors
-// when the corpus holds no runs of the algorithm.
+// Predict interpolates the behavior of the queried computation, using
+// the k-d index for the exact-hit nearest-neighbor check. It errors when
+// the corpus holds no runs of the algorithm.
 func (p *Predictor) Predict(q Query) (*Prediction, error) {
+	return p.predict(q, true)
+}
+
+// PredictNaive is the retained linear-scan implementation — the
+// differential-test oracle. Predict must return bit-identical results.
+func (p *Predictor) PredictNaive(q Query) (*Prediction, error) {
+	return p.predict(q, false)
+}
+
+func (p *Predictor) predict(q Query, indexed bool) (*Prediction, error) {
 	samples := p.byAlg[q.Algorithm]
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("predict: no corpus runs for algorithm %q", q.Algorithm)
@@ -78,22 +125,30 @@ func (p *Predictor) Predict(q Query) (*Prediction, error) {
 	if q.NumEdges <= 0 {
 		return nil, fmt.Errorf("predict: query needs a positive edge count")
 	}
-	logSize := math.Log10(float64(q.NumEdges))
+	qf := featureOf(math.Log10(float64(q.NumEdges)), q.Alpha)
+	feats := p.feats[q.Algorithm]
 
-	// Inverse-squared-distance weights in (log size, alpha) space; alpha
-	// spans ~1 and log size ~3-4 units, so scale alpha up to balance axes.
-	const alphaScale = 3.0
+	// Exact hit: the queried configuration is (numerically) a measured
+	// one — return the nearest such measurement itself. The index and
+	// the scan agree exactly, ties included (nnindex's contract).
+	var hit int
+	var hitD2 float64
+	if indexed {
+		hit, hitD2 = p.index[q.Algorithm].Nearest(qf)
+	} else {
+		hit, hitD2 = nnindex.NearestLinear(feats, qf)
+	}
+	if hitD2 < 1e-12 {
+		s := samples[hit]
+		return &Prediction{Raw: s.raw, Iterations: s.iters, Support: 1}, nil
+	}
+
+	// Inverse-squared-distance interpolation over all runs. The nearest
+	// distance is ≥ 1e-12 here, so no weight divides by zero.
 	var wSum float64
 	var pred Prediction
-	for _, s := range samples {
-		ds := logSize - s.logSize
-		da := alphaScale * (q.Alpha - s.alpha)
-		d2 := ds*ds + da*da
-		if d2 < 1e-12 {
-			// Exact hit: return the measurement itself.
-			return &Prediction{Raw: s.raw, Iterations: s.iters, Support: 1}, nil
-		}
-		w := 1 / d2
+	for i, s := range samples {
+		w := 1 / nnindex.Dist2(qf, feats[i])
 		wSum += w
 		for d := 0; d < behavior.Dims; d++ {
 			pred.Raw[d] += w * s.raw[d]

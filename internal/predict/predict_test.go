@@ -1,10 +1,12 @@
 package predict
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"gcbench/internal/behavior"
+	"gcbench/internal/rng"
 )
 
 // syntheticCorpus builds runs whose behavior is a smooth function of
@@ -113,5 +115,157 @@ func TestLeaveOneOutNeedsEnoughRuns(t *testing.T) {
 	runs := syntheticCorpus()[:2]
 	if _, err := LeaveOneOut(runs); err == nil {
 		t.Fatal("tiny corpus accepted")
+	}
+}
+
+// randomCorpus builds a corpus of n runs per algorithm with randomized
+// sizes and alphas, including deliberate duplicate configurations so hit
+// detection exercises ties.
+func randomCorpus(n int, seed uint64) []*behavior.Run {
+	r := rng.New(seed)
+	var runs []*behavior.Run
+	for _, alg := range []string{"PR", "KM", "TC"} {
+		for i := 0; i < n; i++ {
+			size := int64(1000 + r.Intn(10_000_000))
+			alpha := 2 + r.Float64()
+			if i > 0 && r.Intn(5) == 0 {
+				// Duplicate an earlier configuration (different raw).
+				prev := runs[len(runs)-1-r.Intn(i)]
+				size, alpha = prev.NumEdges, prev.Alpha
+			}
+			var raw behavior.Vector
+			for d := range raw {
+				raw[d] = r.Float64()
+			}
+			runs = append(runs, &behavior.Run{
+				Algorithm: alg, Domain: "Graph Analytics",
+				NumEdges: size, Alpha: alpha, SizeLabel: "x",
+				Iterations: 1 + r.Intn(50), Raw: raw,
+			})
+		}
+	}
+	return runs
+}
+
+// TestPredictMatchesNaive is the differential test: the indexed Predict
+// and the retained linear-scan PredictNaive return bit-identical
+// predictions for measured configurations (exact hits, including
+// duplicates), perturbed near-hits, and interpolation queries.
+func TestPredictMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		runs := randomCorpus(100, seed)
+		p, err := New(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var queries []Query
+		for _, r := range runs {
+			queries = append(queries,
+				Query{r.Algorithm, r.NumEdges, r.Alpha},          // exact hit
+				Query{r.Algorithm, r.NumEdges + 1, r.Alpha},      // near hit
+				Query{r.Algorithm, r.NumEdges * 3, r.Alpha + .1}, // interpolation
+			)
+		}
+		qr := rng.New(seed ^ 0x9e3779b9)
+		for i := 0; i < 300; i++ {
+			queries = append(queries, Query{
+				Algorithm: []string{"PR", "KM", "TC"}[qr.Intn(3)],
+				NumEdges:  int64(1000 + qr.Intn(10_000_000)),
+				Alpha:     2 + qr.Float64(),
+			})
+		}
+		for qi, q := range queries {
+			want, errN := p.PredictNaive(q)
+			got, errI := p.Predict(q)
+			if (errN == nil) != (errI == nil) {
+				t.Fatalf("query %d: error mismatch: %v vs %v", qi, errI, errN)
+			}
+			if errN != nil {
+				continue
+			}
+			if got.Raw != want.Raw || got.Iterations != want.Iterations || got.Support != want.Support {
+				t.Fatalf("query %d (%+v): indexed %+v, naive %+v", qi, q, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictExactHitDuplicates: when several runs share a measured
+// configuration, both paths return the first (smallest-index) one.
+func TestPredictExactHitDuplicates(t *testing.T) {
+	runs := syntheticCorpus()
+	dup := *runs[7]
+	dup.Raw[0] *= 2 // distinguishable payload, identical configuration
+	runs = append(runs, &dup)
+	p, err := New(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{runs[7].Algorithm, runs[7].NumEdges, runs[7].Alpha}
+	want, err := p.PredictNaive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Raw != want.Raw {
+		t.Fatalf("duplicate hit: indexed %v, naive %v", got.Raw, want.Raw)
+	}
+	if got.Raw != runs[7].Raw {
+		t.Fatalf("duplicate hit resolved to the later run: %v", got.Raw)
+	}
+}
+
+// benchCorpus spreads many runs over one algorithm so the NN structures
+// have depth to search.
+func benchCorpus(n int) []*behavior.Run {
+	r := rng.New(424242)
+	runs := make([]*behavior.Run, n)
+	for i := range runs {
+		var raw behavior.Vector
+		for d := range raw {
+			raw[d] = r.Float64()
+		}
+		runs[i] = &behavior.Run{
+			Algorithm: "PR", Domain: "Graph Analytics",
+			NumEdges: int64(1000 + r.Intn(100_000_000)), Alpha: 2 + r.Float64(),
+			SizeLabel: "x", Iterations: 10, Raw: raw,
+		}
+	}
+	return runs
+}
+
+// BenchmarkPredictIndexed vs BenchmarkPredictLinear: the exact-hit path
+// (re-querying measured configurations — the serving hot path) via the
+// k-d index against the retained linear scan.
+func BenchmarkPredictIndexed(b *testing.B) {
+	benchmarkPredict(b, func(p *Predictor, q Query) (*Prediction, error) { return p.Predict(q) })
+}
+
+func BenchmarkPredictLinear(b *testing.B) {
+	benchmarkPredict(b, func(p *Predictor, q Query) (*Prediction, error) { return p.PredictNaive(q) })
+}
+
+func benchmarkPredict(b *testing.B, fn func(*Predictor, Query) (*Prediction, error)) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runs := benchCorpus(n)
+			p, err := New(runs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := make([]Query, len(runs))
+			for i, r := range runs {
+				queries[i] = Query{r.Algorithm, r.NumEdges, r.Alpha}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(p, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
