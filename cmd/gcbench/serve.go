@@ -32,6 +32,7 @@ func cmdServe(args []string) error {
 	jobsOn := fs.Bool("jobs", false, "enable the async campaign API (POST /api/campaigns, /api/jobs): completed campaigns publish into the live corpus")
 	maxRunning := fs.Int("max-running", 1, "concurrently executing campaigns (with -jobs)")
 	queueDepth := fs.Int("queue-depth", 16, "campaigns queued behind the running ones before POST /api/campaigns sheds with 429 (with -jobs)")
+	traceCap := fs.Int("traces", 512, "request traces retained for /debug/traces, tail-sampled (errors, 429s and slowest decile kept preferentially); 0 disables tracing")
 	vb := verbosityFlags(fs)
 	fs.Parse(args)
 	vb.setup()
@@ -48,6 +49,10 @@ func cmdServe(args []string) error {
 			QueueDepth: *queueDepth,
 		})
 	}
+	var traces *gcbench.TraceStore
+	if *traceCap > 0 {
+		traces = gcbench.NewTraceStore(*traceCap)
+	}
 	srv, err := gcbench.NewAPIServer(gcbench.APIServerConfig{
 		Store:          store,
 		Samples:        *samples,
@@ -56,6 +61,11 @@ func cmdServe(args []string) error {
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		Jobs:           mgr,
+		Traces:         traces,
+		// The access log emits at Info through the process logger, so
+		// -quiet (level Warn) suppresses it and -v keeps it alongside
+		// debug logs — one wide event per request either way.
+		AccessLog: slog.Default(),
 	})
 	if err != nil {
 		return err
@@ -66,6 +76,9 @@ func cmdServe(args []string) error {
 	endpoints := "/api/runs /api/behavior/{key} /api/ensemble/design /api/ensemble/best /api/predict /api/corpus /metrics /statusz /debug/pprof/"
 	if mgr != nil {
 		endpoints += " /api/campaigns /api/jobs"
+	}
+	if traces != nil {
+		endpoints += " /debug/traces"
 	}
 	slog.Info("ensemble-design API listening",
 		"url", srv.URL(),

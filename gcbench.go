@@ -33,6 +33,7 @@ import (
 	"gcbench/internal/jobs"
 	"gcbench/internal/nnindex"
 	"gcbench/internal/obs"
+	"gcbench/internal/obs/otrace"
 	"gcbench/internal/predict"
 	"gcbench/internal/report"
 	"gcbench/internal/serve"
@@ -282,16 +283,33 @@ type CampaignStatus = sweep.CampaignStatus
 // RunProvenance documents where and when a campaign run executed.
 type RunProvenance = sweep.Provenance
 
+// TraceStore is the bounded in-memory store of request-scoped traces
+// with tail-based sampling (error, shed and slowest-decile traces are
+// retained preferentially). Attach one via APIServerConfig.Traces to
+// trace serve → jobs → sweep → engine and query /debug/traces.
+type TraceStore = otrace.Store
+
+// TraceSpan is one span of a request-scoped trace. A nil *TraceSpan is
+// valid everywhere — every method no-ops — so untraced code paths pay
+// nothing.
+type TraceSpan = otrace.Span
+
+// SpanNode is the nested span-tree shape served by /debug/traces/{id}.
+type SpanNode = obs.SpanNode
+
 // Observability entry points. RunSpecTrace is the single-run engine
 // entry that also returns the full trace for WriteChromeTrace.
 var (
-	Metrics            = obs.Default
-	NewMetricsRegistry = obs.NewRegistry
-	StartObsServer     = obs.StartServer
-	WriteChromeTrace   = obs.WriteChromeTrace
-	PublishExpvar      = obs.PublishExpvar
-	NewCampaignTracker = sweep.NewTracker
-	RunSpecTrace       = sweep.RunSpecTrace
+	Metrics               = obs.Default
+	NewMetricsRegistry    = obs.NewRegistry
+	StartObsServer        = obs.StartServer
+	WriteChromeTrace      = obs.WriteChromeTrace
+	WriteChromeTraceSpans = obs.WriteChromeTraceSpans
+	PublishExpvar         = obs.PublishExpvar
+	NewCampaignTracker    = sweep.NewTracker
+	RunSpecTrace          = sweep.RunSpecTrace
+	NewTraceStore         = otrace.NewStore
+	BuildSpanTree         = obs.BuildSpanTree
 )
 
 // --- Ensembles (§5) ---

@@ -39,6 +39,7 @@ import (
 
 	"gcbench/internal/behavior"
 	"gcbench/internal/obs"
+	"gcbench/internal/obs/otrace"
 	"gcbench/internal/sweep"
 )
 
@@ -104,6 +105,12 @@ type Request struct {
 	// Label is a human-readable tag echoed in Status ("sweep -profile
 	// quick", "PR smoke", ...).
 	Label string
+	// Span, when non-nil, is the submitting request's root span. The
+	// manager opens a child "job" span under it when the campaign starts —
+	// linking the asynchronous execution back to the 202 request that
+	// submitted it, across the async boundary — and the job span becomes
+	// the parent of every per-run span the sweep runner opens.
+	Span *otrace.Span
 }
 
 // Status is a JSON-encodable point-in-time snapshot of one job.
@@ -409,6 +416,16 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 	defer j.cancelCtx()
 	j.markRunning()
 
+	// The job span survives the submitting request's 202: its parent (the
+	// serve root span) has long ended, but the trace keeps accepting
+	// children, so the queryable tree shows the submission and the
+	// asynchronous execution as one request. Nil-safe throughout — an
+	// untraced submission propagates a nil span and nothing records.
+	jobSpan := j.req.Span.StartChild("job "+j.id, "job",
+		otrace.Int("specs", len(j.req.Specs)),
+		otrace.String("label", j.label))
+	ctx = otrace.ContextWithSpan(ctx, jobSpan)
+
 	cfg := j.req.Config
 	userProgress := cfg.Progress
 	cfg.Progress = func(done, total int, id string) {
@@ -450,6 +467,14 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 			}
 		}
 	}
+
+	switch state {
+	case StateFailed:
+		jobSpan.Fail(msg)
+	case StateCancelled:
+		jobSpan.SetAttr("cancelled", true)
+	}
+	jobSpan.End()
 
 	m.finalize(j, state, msg)
 	m.scheduleNext()

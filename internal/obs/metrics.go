@@ -101,6 +101,48 @@ func (h *Histogram) Count() uint64 { return h.total.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly within
+// the containing bucket — the same estimate Prometheus's
+// histogram_quantile() computes. The second return is false when the
+// histogram is empty. Observations above the last finite bound clamp
+// the estimate to that bound (the +Inf bucket has no width to
+// interpolate over), so tail quantiles are lower bounds, not exact.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	total := h.total.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac, true
+		}
+		cum += c
+	}
+	// The rank lands in the +Inf bucket: clamp to the last finite bound.
+	if len(h.bounds) == 0 {
+		return 0, false
+	}
+	return h.bounds[len(h.bounds)-1], true
+}
+
 // metricKind tags a registered metric for TYPE exposition.
 type metricKind int
 
@@ -108,6 +150,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindHistogramVec
 )
 
 type metric struct {
@@ -117,6 +160,7 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	hv   *HistogramVec
 }
 
 // Registry holds named metrics and renders them in Prometheus text
@@ -192,6 +236,34 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// HistogramVec returns the labeled histogram family registered under
+// name, creating it with the given label names and bucket bounds if
+// absent. Children share the bounds; see HistogramVec.With.
+func (r *Registry) HistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindHistogramVec {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+		}
+		return m.hv
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+	}
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: histogram vec %q needs at least one label", name))
+	}
+	hv := &HistogramVec{
+		name:     name,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*Histogram),
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogramVec, hv: hv}
+	return hv
+}
+
 // formatValue renders a float the way Prometheus clients do: integral
 // values without an exponent, the rest in shortest-round-trip form.
 func formatValue(v float64) string {
@@ -243,6 +315,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum += m.h.counts[len(m.h.bounds)].Load()
 			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
 				m.name, cum, m.name, formatValue(m.h.Sum()), m.name, m.h.Count())
+		case kindHistogramVec:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			keys, hs := m.hv.sortedChildren()
+			for ci, h := range hs {
+				labels := keys[ci]
+				var cum uint64
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					if _, err = fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", m.name, labels, formatValue(b), cum); err != nil {
+						return err
+					}
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n%s_sum{%s} %s\n%s_count{%s} %d\n",
+					m.name, labels, cum, m.name, labels, formatValue(h.Sum()), m.name, labels, h.Count()); err != nil {
+					return err
+				}
+			}
 		}
 		if err != nil {
 			return err
@@ -266,6 +358,12 @@ func (r *Registry) Snapshot() map[string]float64 {
 		case kindHistogram:
 			out[name+"_sum"] = m.h.Sum()
 			out[name+"_count"] = float64(m.h.Count())
+		case kindHistogramVec:
+			keys, hs := m.hv.sortedChildren()
+			for i, h := range hs {
+				out[name+"{"+keys[i]+"}_sum"] = h.Sum()
+				out[name+"{"+keys[i]+"}_count"] = float64(h.Count())
+			}
 		}
 	}
 	return out

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"gcbench/internal/obs/otrace"
 )
 
 // ServerOptions configures StartServer.
@@ -18,6 +20,9 @@ type ServerOptions struct {
 	// value is JSON-encoded on every request, so it should be a cheap
 	// snapshot, not a live structure.
 	Status func() any
+	// Traces, when non-nil, additionally serves the request-trace store
+	// at /debug/traces and /debug/traces/{id}.
+	Traces *otrace.Store
 }
 
 // Server is a running observability HTTP server. It serves:
@@ -60,6 +65,9 @@ func RegisterRoutes(mux *http.ServeMux, opts ServerOptions) {
 		_ = enc.Encode(payload)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if opts.Traces != nil {
+		RegisterTraceRoutes(mux, opts.Traces)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"gcbench/internal/obs/otrace"
+)
+
+// SpanNode is one span in the nested /debug/traces/{id} tree: the
+// recorded span data plus its children ordered by (offset, name) — the
+// JSON shape clients walk to see where a request's time went.
+type SpanNode struct {
+	otrace.SpanData
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// BuildSpanTree nests a trace's flat span list into parent→child trees.
+// The first return holds the root spans (normally exactly one); the
+// second holds orphans — spans whose parent was dropped past the
+// per-trace cap — so nothing recorded is silently hidden.
+func BuildSpanTree(spans []otrace.SpanData) (roots, orphans []*SpanNode) {
+	nodes := make(map[otrace.SpanID]*SpanNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].SpanID] = &SpanNode{SpanData: spans[i]}
+	}
+	for _, n := range nodes {
+		if n.Parent.IsZero() {
+			roots = append(roots, n)
+			continue
+		}
+		if p, ok := nodes[n.Parent]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			orphans = append(orphans, n)
+		}
+	}
+	sortNodes := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Offset != ns[j].Offset {
+				return ns[i].Offset < ns[j].Offset
+			}
+			if ns[i].Name != ns[j].Name {
+				return ns[i].Name < ns[j].Name
+			}
+			return ns[i].SpanID.String() < ns[j].SpanID.String()
+		})
+	}
+	sortNodes(roots)
+	sortNodes(orphans)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots, orphans
+}
+
+// WriteChromeTraceSpans exports a span tree as a Chrome trace-event JSON
+// array (the same format WriteChromeTrace emits for engine runs), with
+// one virtual thread per span kind so a request's serve / job / run /
+// iteration / phase layers stack visually in Perfetto.
+//
+// The export is deterministic for a given span tree: events carry only
+// relative offsets and durations (never absolute clock readings or span
+// ids), are ordered by (offset, name), and attribute maps JSON-encode
+// with sorted keys. Two exports of the same quiesced trace are
+// byte-identical — the property the golden test pins.
+func WriteChromeTraceSpans(w io.Writer, spans []otrace.SpanData) error {
+	// Stable kind → tid mapping: known kinds get fixed rows in layer
+	// order, unknown kinds one shared overflow row.
+	kindTid := map[string]int{
+		"server": 0, "job": 1, "run": 2, "iteration": 3, "phase": 4, "": 5,
+	}
+	const otherTid = 6
+	events := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "gcbench request"}},
+	}
+	usedTid := map[int]string{}
+	for _, s := range spans {
+		tid, ok := kindTid[s.Kind]
+		if !ok {
+			tid = otherTid
+		}
+		name := s.Kind
+		if name == "" {
+			name = "internal"
+		}
+		if tid == otherTid {
+			name = "other"
+		}
+		usedTid[tid] = name
+	}
+	tids := make([]int, 0, len(usedTid))
+	for tid := range usedTid {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": usedTid[tid]},
+		})
+	}
+
+	ordered := append([]otrace.SpanData(nil), spans...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Offset != ordered[j].Offset {
+			return ordered[i].Offset < ordered[j].Offset
+		}
+		if ordered[i].Duration != ordered[j].Duration {
+			return ordered[i].Duration > ordered[j].Duration
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+	for _, s := range ordered {
+		tid, ok := kindTid[s.Kind]
+		if !ok {
+			tid = otherTid
+		}
+		args := map[string]any{}
+		if s.Status != "" {
+			args["status"] = s.Status
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		cat := s.Kind
+		if cat == "" {
+			cat = "internal"
+		}
+		events = append(events, traceEvent{
+			Name: s.Name, Cat: cat, Ph: "X",
+			Ts: us(s.Offset), Dur: us(s.Duration), Pid: 1, Tid: tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}
+
+// RegisterTraceRoutes serves the trace store on mux:
+//
+//	GET /debug/traces          recent-trace index, newest first
+//	GET /debug/traces/{id}     one trace's full span tree as JSON;
+//	                           ?format=chrome renders the Chrome
+//	                           trace-event export instead
+func RegisterTraceRoutes(mux *http.ServeMux, store *otrace.Store) {
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		body, err := json.MarshalIndent(v, "", " ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(status)
+		_, _ = w.Write(append(body, '\n'))
+	}
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		list := store.List()
+		started, evicted := store.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":   len(list),
+			"started": started,
+			"evicted": evicted,
+			"traces":  list,
+		})
+	})
+	mux.HandleFunc("/debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := otrace.ParseTraceID(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tr, ok := store.Get(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no retained trace %s (the tail sampler evicts boring traces first)", id), http.StatusNotFound)
+			return
+		}
+		spans := tr.Spans()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = WriteChromeTraceSpans(w, spans)
+			return
+		}
+		roots, orphans := BuildSpanTree(spans)
+		payload := map[string]any{
+			"traceId": tr.ID(),
+			"start":   tr.Start().UTC().Format(time.RFC3339Nano),
+			"spans":   len(spans),
+			"dropped": tr.Dropped(),
+			"tree":    roots,
+		}
+		if len(orphans) > 0 {
+			payload["orphans"] = orphans
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+}

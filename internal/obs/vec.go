@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// HistogramVec is a family of Histograms sharing one name and bucket
+// layout, distinguished by label values — the minimal labeled-metric
+// subset the serve tier's per-route × status-class RED metrics need.
+// Children are created on first use and never evicted; label sets are
+// expected to be low-cardinality by construction (route patterns ×
+// status classes, not raw paths).
+type HistogramVec struct {
+	name   string
+	labels []string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram // key: rendered label text, e.g. `code="2xx",route="/api/runs"`
+}
+
+// With returns the child histogram for the given label values (one per
+// registered label name, in order), creating it on first use. The
+// returned *Histogram is cacheable by the caller; Observe on it is the
+// same lock-free atomic path as an unlabeled histogram.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.renderLabels(values)
+	v.mu.RLock()
+	h, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.children[key]; ok {
+		return h
+	}
+	h = &Histogram{bounds: append([]float64(nil), v.bounds...)}
+	h.counts = make([]atomic.Uint64, len(v.bounds)+1)
+	v.children[key] = h
+	return h
+}
+
+// renderLabels produces the canonical Prometheus label text for the
+// given values: names sorted at registration time, values escaped.
+func (v *HistogramVec) renderLabels(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	parts := make([]string, len(values))
+	for i, val := range values {
+		parts[i] = v.labels[i] + `="` + escapeLabel(val) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sortedChildren snapshots the children sorted by label text for stable
+// exposition.
+func (v *HistogramVec) sortedChildren() (keys []string, hs []*Histogram) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys = make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs = make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = v.children[k]
+	}
+	return keys, hs
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("req_seconds", "Request latency.", []string{"route", "code"}, []float64{0.1, 1})
+	hv.With("/api/runs", "2xx").Observe(0.05)
+	hv.With("/api/runs", "2xx").Observe(0.5)
+	hv.With("/api/predict", "5xx").Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{route="/api/runs",code="2xx",le="0.1"} 1`,
+		`req_seconds_bucket{route="/api/runs",code="2xx",le="1"} 2`,
+		`req_seconds_bucket{route="/api/runs",code="2xx",le="+Inf"} 2`,
+		`req_seconds_count{route="/api/runs",code="2xx"} 2`,
+		`req_seconds_bucket{route="/api/predict",code="5xx",le="+Inf"} 1`,
+		`req_seconds_sum{route="/api/predict",code="5xx"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Same labels → same child; wrong arity panics.
+	if hv.With("/api/runs", "2xx") != hv.With("/api/runs", "2xx") {
+		t.Error("With is not stable for identical label values")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong label arity did not panic")
+			}
+		}()
+		hv.With("only-one")
+	}()
+}
+
+func TestHistogramVecLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("m", "", []string{"l"}, []float64{1})
+	hv.With("a\"b\\c\nd").Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `m_bucket{l="a\"b\\c\nd",le="1"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped exposition missing %q in:\n%s", want, b.String())
+	}
+}
+
+// TestHistogramVecConcurrentScrape hammers Observe on labeled children —
+// including first-use child creation — against concurrent Prometheus
+// exposition. Run under -race this pins the lock discipline of the vec
+// (RWMutex on the child map, lock-free atomics inside each child); the
+// scrape-side assertion is that cumulative bucket counts are monotone
+// within every single scrape.
+func TestHistogramVecConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("hammer_seconds", "h", []string{"route", "code"}, []float64{0.001, 0.01, 0.1, 1})
+	routes := []string{"/a", "/b", "/c", "/d"}
+	codes := []string{"2xx", "4xx", "5xx"}
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				route := routes[(w+i)%len(routes)]
+				code := codes[i%len(codes)]
+				hv.With(route, code).Observe(float64(i%100) / 500.0)
+			}
+		}(w)
+	}
+	scrapeDone := make(chan error, 1)
+	go func() {
+		<-start
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				scrapeDone <- err
+				return
+			}
+			if err := checkMonotoneBuckets(b.String()); err != nil {
+				scrapeDone <- err
+				return
+			}
+		}
+		scrapeDone <- nil
+	}()
+	close(start)
+	wg.Wait()
+	if err := <-scrapeDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesced: every observation is accounted for exactly once.
+	var total uint64
+	for _, route := range routes {
+		for _, code := range codes {
+			total += hv.With(route, code).Count()
+		}
+	}
+	if want := uint64(writers * perWriter); total != want {
+		t.Fatalf("total observations = %d, want %d", total, want)
+	}
+}
+
+// checkMonotoneBuckets asserts cumulative bucket counts never decrease
+// within one labeled series of one scrape.
+func checkMonotoneBuckets(exposition string) error {
+	last := map[string]uint64{} // series key (labels minus le) → last cum
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, "hammer_seconds_bucket{") {
+			continue
+		}
+		open := strings.Index(line, "{")
+		close := strings.Index(line, "}")
+		labels := line[open+1 : close]
+		le := ""
+		var parts []string
+		for _, kv := range strings.Split(labels, ",") {
+			if strings.HasPrefix(kv, "le=") {
+				le = kv
+				continue
+			}
+			parts = append(parts, kv)
+		}
+		if le == "" {
+			return fmt.Errorf("bucket line without le: %s", line)
+		}
+		key := strings.Join(parts, ",")
+		var cum uint64
+		if _, err := fmt.Sscanf(strings.TrimSpace(line[close+1:]), "%d", &cum); err != nil {
+			return fmt.Errorf("parsing %q: %w", line, err)
+		}
+		if cum < last[key] {
+			return fmt.Errorf("series %s: cumulative count went backwards (%d after %d)", key, cum, last[key])
+		}
+		last[key] = cum
+	}
+	return nil
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+	// 100 observations uniform in (0,1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	p50, ok := h.Quantile(0.5)
+	if !ok || p50 <= 0 || p50 > 1 {
+		t.Fatalf("p50 = %v (ok=%v), want within first bucket (0,1]", p50, ok)
+	}
+	// Add 100 observations in (4,8]: p75 must land in that bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(4 + 4*float64(i)/100)
+	}
+	p75, ok := h.Quantile(0.75)
+	if !ok || p75 < 4 || p75 > 8 {
+		t.Fatalf("p75 = %v (ok=%v), want in (4,8]", p75, ok)
+	}
+	// Monotone in q.
+	p25, _ := h.Quantile(0.25)
+	p99, _ := h.Quantile(0.99)
+	if !(p25 <= p50 && p50 <= p75 && p75 <= p99) {
+		t.Fatalf("quantiles not monotone: p25=%v p50=%v p75=%v p99=%v", p25, p50, p75, p99)
+	}
+	// Observations beyond the last bound clamp to it.
+	h2 := r.Histogram("q2", "", []float64{1})
+	h2.Observe(100)
+	if v, ok := h2.Quantile(0.99); !ok || v != 1 {
+		t.Fatalf("overflow quantile = %v (ok=%v), want clamp to 1", v, ok)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"gcbench/internal/behavior"
 	"gcbench/internal/corpus"
 	"gcbench/internal/ensemble"
+	"gcbench/internal/obs/otrace"
 )
 
 // errInvalid tags client mistakes so the HTTP layer maps them to 400
@@ -203,6 +204,7 @@ func (s *Server) serveDesign(w http.ResponseWriter, r *http.Request, req *design
 	key := req.cacheKey(snap.Version)
 	if body, ok := s.cache.Get(key); ok {
 		s.mCacheHit.Inc()
+		reqInfoFrom(r.Context()).setCache("hit")
 		s.writeDesignBody(w, body, "hit")
 		return
 	}
@@ -231,6 +233,7 @@ func (s *Server) serveDesign(w http.ResponseWriter, r *http.Request, req *design
 	if coalesced {
 		tag = "coalesced"
 	}
+	reqInfoFrom(ctx).setCache(tag)
 	s.writeDesignBody(w, body, tag)
 }
 
@@ -267,7 +270,21 @@ func (s *Server) writeDesignError(w http.ResponseWriter, err error) {
 // worker slot and caches the marshaled response before returning, so a
 // request arriving after singleflight unregisters the key still finds
 // the result.
-func (s *Server) runDesign(ctx context.Context, snap *corpus.Snapshot, req *designRequest, poolIdx []int, key string) ([]byte, error) {
+func (s *Server) runDesign(ctx context.Context, snap *corpus.Snapshot, req *designRequest, poolIdx []int, key string) (_ []byte, err error) {
+	// The search span covers queue wait plus the search itself. With
+	// tracing off (no span in ctx) StartSpan returns a nil span whose
+	// methods no-op, so the untraced path is unchanged.
+	ctx, sp := otrace.StartSpan(ctx, "ensemble search", "search",
+		otrace.String("metric", req.Metric),
+		otrace.String("method", req.Method),
+		otrace.Int("n", req.N),
+		otrace.Int("pool", len(poolIdx)))
+	defer func() {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}()
 	if err := s.pool.acquire(ctx); err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"gcbench/internal/algorithms"
 	"gcbench/internal/behavior"
 	"gcbench/internal/jobs"
+	"gcbench/internal/obs/otrace"
 	"gcbench/internal/sweep"
 )
 
@@ -122,6 +123,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	job, err := s.cfg.Jobs.Submit(jobs.Request{
 		Specs: specs,
 		Label: label,
+		Span:  otrace.FromContext(r.Context()),
 		Config: sweep.Config{
 			Parallel: req.Parallel,
 			Workers:  req.Workers,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"gcbench/internal/obs"
 )
@@ -52,11 +53,22 @@ func (p *workPool) acquire(ctx context.Context) error {
 		return errSaturated
 	}
 	p.depth.Set(float64(p.pending.Load()))
+	// Fast path: a free worker slot costs no clock read. Only a blocked
+	// admission measures its queue wait for the request's wide event.
 	select {
 	case p.sem <- struct{}{}:
 		p.inflight.Add(1)
 		return nil
+	default:
+	}
+	begin := time.Now()
+	select {
+	case p.sem <- struct{}{}:
+		reqInfoFrom(ctx).addQueueWait(time.Since(begin))
+		p.inflight.Add(1)
+		return nil
 	case <-ctx.Done():
+		reqInfoFrom(ctx).addQueueWait(time.Since(begin))
 		p.pending.Add(-1)
 		p.depth.Set(float64(p.pending.Load()))
 		return ctx.Err()

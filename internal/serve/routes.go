@@ -12,8 +12,9 @@ import (
 // structured JSON error envelope (plus an accurate Allow header) that
 // every other API failure uses.
 type apiRoute struct {
-	method string
-	segs   []string // pattern path segments; "{...}" matches any one segment
+	method  string
+	pattern string   // the registered pattern verbatim — the metrics route label
+	segs    []string // pattern path segments; "{...}" matches any one segment
 }
 
 // api registers a method-qualified pattern on the mux and records it in
@@ -21,8 +22,9 @@ type apiRoute struct {
 func (s *Server) api(mux *http.ServeMux, method, pattern string, h http.HandlerFunc) {
 	mux.HandleFunc(method+" "+pattern, h)
 	s.routes = append(s.routes, apiRoute{
-		method: method,
-		segs:   strings.Split(strings.Trim(pattern, "/"), "/"),
+		method:  method,
+		pattern: pattern,
+		segs:    strings.Split(strings.Trim(pattern, "/"), "/"),
 	})
 }
 

@@ -27,6 +27,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -39,6 +40,7 @@ import (
 	"gcbench/internal/ensemble"
 	"gcbench/internal/jobs"
 	"gcbench/internal/obs"
+	"gcbench/internal/obs/otrace"
 )
 
 // Config parameterizes a Server.
@@ -73,6 +75,17 @@ type Config struct {
 	// JobsHeartbeat is the NDJSON event-stream keepalive interval
 	// (default 15s).
 	JobsHeartbeat time.Duration
+	// Traces, when non-nil, enables request-scoped tracing: every request
+	// parses/generates a W3C traceparent, opens a root span in this store,
+	// and the span context propagates through singleflight, the worker
+	// pool, the jobs manager and the sweep runner. The store is also
+	// served at /debug/traces. Nil keeps the request path exactly as
+	// untraced — behavior must be bit-identical either way.
+	Traces *otrace.Store
+	// AccessLog, when non-nil, receives one structured "wide event" per
+	// request: trace id, route, status, cache disposition, queue wait,
+	// bytes and duration on a single line.
+	AccessLog *slog.Logger
 }
 
 // Server is the ensemble-design API server. Construct with New; the
@@ -109,6 +122,7 @@ type Server struct {
 
 	mRequests  *obs.Counter
 	mLatency   *obs.Histogram
+	mRouteLat  *obs.HistogramVec
 	mDesignLat *obs.Histogram
 	mCacheHit  *obs.Counter
 	mCacheMiss *obs.Counter
@@ -123,6 +137,15 @@ type Server struct {
 // latencyBuckets spans sub-millisecond cache hits to multi-second cold
 // coverage searches.
 var latencyBuckets = []float64{.0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60}
+
+// routeLatencyBuckets additionally resolves the microsecond regime —
+// 5µs to 500µs — where cache hits and trivial GETs actually land; one
+// coarse 500µs bucket would flatten a 10× cache-hit regression into
+// nothing. The upper tail still covers cold coverage searches.
+var routeLatencyBuckets = []float64{
+	5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	.001, .005, .025, .1, .5, 1, 5, 30,
+}
 
 // New builds a Server from cfg, applying defaults. The coverage
 // estimator is not built here — the first coverage-metric request pays
@@ -168,6 +191,9 @@ func New(cfg Config) (*Server, error) {
 		mRequests: reg.Counter("gcbench_serve_requests_total", "API requests served."),
 		mLatency: reg.Histogram("gcbench_serve_request_seconds",
 			"API request latency in seconds.", latencyBuckets),
+		mRouteLat: reg.HistogramVec("gcbench_serve_route_seconds",
+			"Request latency in seconds by route pattern and status class.",
+			[]string{"route", "code"}, routeLatencyBuckets),
 		mDesignLat: reg.Histogram("gcbench_serve_design_seconds",
 			"Underlying ensemble-search latency in seconds (cache misses only).", latencyBuckets),
 		mCacheHit:  reg.Counter("gcbench_serve_cache_hits_total", "Design responses served from the LRU cache."),
@@ -203,6 +229,7 @@ func New(cfg Config) (*Server, error) {
 	obs.RegisterRoutes(mux, obs.ServerOptions{
 		Registry: reg,
 		Status:   func() any { return s.Status() },
+		Traces:   cfg.Traces,
 	})
 	s.handler = s.instrument(mux)
 	return s, nil
@@ -221,10 +248,12 @@ func (s *Server) estimator() (*ensemble.CoverageEstimator, error) {
 // routes), usable with httptest or a caller-owned http.Server.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status and byte count for
+// metrics, the access log and the root span.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -232,14 +261,25 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
 // Unwrap exposes the underlying writer so http.ResponseController can
 // reach Flush for the NDJSON event streams.
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
-// instrument wraps the mux with request accounting and the per-request
-// deadline every downstream search loop inherits. Job event streams are
-// exempt from the deadline: they live until the job ends or the client
-// disconnects, not until an arbitrary timeout.
+// instrument wraps the mux with request accounting, the per-request
+// deadline every downstream search loop inherits, and — when tracing is
+// enabled — the request's root span plus one wide-event access-log line.
+// Job event streams are exempt from the deadline: they live until the
+// job ends or the client disconnects, not until an arbitrary timeout.
+//
+// Tracing and logging only ever observe the request; with Traces and
+// AccessLog nil the handler chain behaves bit-identically to the
+// uninstrumented server.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
@@ -248,13 +288,89 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
+		route := s.routeLabel(r)
+		var (
+			ri   *reqInfo
+			tr   *otrace.Trace
+			root *otrace.Span
+		)
+		if s.cfg.Traces != nil || s.cfg.AccessLog != nil {
+			ctx, ri = withReqInfo(ctx)
+		}
+		if s.cfg.Traces != nil {
+			// Honor an inbound W3C traceparent so the request joins its
+			// caller's trace; a missing or malformed header starts a fresh
+			// one. The remote parent id is recorded on the root span without
+			// pretending the remote span is locally known.
+			tid, parent, _, err := otrace.ParseTraceparent(r.Header.Get("traceparent"))
+			if err != nil {
+				tid, parent = otrace.TraceID{}, otrace.SpanID{}
+			}
+			tr, root = s.cfg.Traces.StartTrace(r.Method+" "+route, "server", tid, parent,
+				otrace.String("route", route),
+				otrace.String("method", r.Method),
+				otrace.String("path", r.URL.Path))
+			ctx = otrace.ContextWithSpan(ctx, root)
+			// Echo the request's trace identity so clients can fetch
+			// /debug/traces/{trace-id} for exactly this request.
+			w.Header().Set("traceparent", root.Traceparent())
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
 		next.ServeHTTP(rec, r.WithContext(ctx))
+		dur := time.Since(begin)
+
 		s.mRequests.Inc()
-		s.mLatency.Observe(time.Since(begin).Seconds())
+		s.mLatency.Observe(dur.Seconds())
+		s.mRouteLat.With(route, statusClass(rec.status)).Observe(dur.Seconds())
 		if rec.status >= 500 {
 			s.mErrors.Inc()
+		}
+
+		cacheTag := ri.cacheTag()
+		var queueWait time.Duration
+		if ri != nil {
+			queueWait = time.Duration(ri.queueWait.Load())
+		}
+		if root != nil {
+			root.SetAttr("status", rec.status)
+			root.SetAttr("bytes", rec.bytes)
+			if cacheTag != "" {
+				root.SetAttr("cache", cacheTag)
+			}
+			if queueWait > 0 {
+				root.SetAttr("queueWaitMs", float64(queueWait.Microseconds())/1000)
+			}
+			if rec.status >= 500 {
+				root.Fail(fmt.Sprintf("HTTP %d", rec.status))
+			} else if rec.status == http.StatusTooManyRequests {
+				// Shed requests are exactly the traces worth keeping when
+				// debugging saturation; protect them from tail eviction.
+				root.SetAttr("shed", true)
+				tr.Mark()
+			}
+			root.End()
+		}
+		if s.cfg.AccessLog != nil {
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", dur),
+				slog.String("remote", r.RemoteAddr),
+			}
+			if root != nil {
+				attrs = append(attrs, slog.String("trace_id", root.TraceID().String()))
+			}
+			if cacheTag != "" {
+				attrs = append(attrs, slog.String("cache", cacheTag))
+			}
+			if queueWait > 0 {
+				attrs = append(attrs, slog.Duration("queue_wait", queueWait))
+			}
+			s.cfg.AccessLog.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
 		}
 	})
 }

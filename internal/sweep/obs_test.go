@@ -237,7 +237,32 @@ func TestTrackerSnapshotLifecycle(t *testing.T) {
 			}
 		}
 	}
-	if st.ETAMs != 0 {
-		t.Fatalf("finished campaign has nonzero ETA %d", st.ETAMs)
+	if st.ETAMs == nil || *st.ETAMs != 0 {
+		t.Fatalf("finished campaign ETA = %v, want 0", st.ETAMs)
+	}
+	if st.RunSeconds == nil || st.RunSeconds.Count == 0 {
+		t.Fatalf("finished campaign has no run-duration percentiles: %+v", st.RunSeconds)
+	}
+	if !(st.RunSeconds.P50 <= st.RunSeconds.P95 && st.RunSeconds.P95 <= st.RunSeconds.P99) {
+		t.Fatalf("percentiles not monotone: %+v", st.RunSeconds)
+	}
+}
+
+// TestStatusETANullBeforeFirstFinish: a campaign with zero finished
+// specs must report a null ETA, not 0 — extrapolating from nothing would
+// render a bogus "done now" figure.
+func TestStatusETANullBeforeFirstFinish(t *testing.T) {
+	tracker := NewTracker()
+	tracker.begin(campaignSpecs(2))
+	st := tracker.Snapshot()
+	if st.ETAMs != nil {
+		t.Fatalf("ETA before any finish = %d, want null", *st.ETAMs)
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"etaMs":null`) {
+		t.Fatalf("etaMs does not render as JSON null: %s", body)
 	}
 }

@@ -11,6 +11,8 @@ import (
 
 	"gcbench/internal/behavior"
 	"gcbench/internal/obs"
+	"gcbench/internal/obs/otrace"
+	"gcbench/internal/trace"
 )
 
 // Campaign metrics on the process-wide obs registry.
@@ -227,6 +229,23 @@ func runResilient(ctx context.Context, spec Spec, cfg Config, cache *graphCache)
 	start := time.Now()
 	res := RunResult{Spec: spec, Provenance: newProvenance(start)}
 	defer func() { res.Provenance.FinishedAt = time.Now() }()
+	// The per-run span hangs under whatever span the campaign context
+	// carries (the jobs layer's "job" span, or nothing for untraced CLI
+	// sweeps, in which case sp is nil and every call below no-ops).
+	sp := otrace.FromContext(ctx).StartChild("run "+spec.ID(), "run")
+	defer func() {
+		if sp == nil {
+			return
+		}
+		sp.SetAttr("attempts", res.Attempts)
+		if res.Status != behavior.StatusOK {
+			sp.SetAttr("runStatus", string(res.Status))
+		}
+		if res.Err != "" {
+			sp.Fail(res.Err)
+		}
+		sp.End()
+	}()
 	metricActiveRuns.Add(1)
 	defer metricActiveRuns.Add(-1)
 	backoff := cfg.RetryBackoff
@@ -254,11 +273,12 @@ func runResilient(ctx context.Context, spec Spec, cfg Config, cache *graphCache)
 		if cfg.Tracker != nil {
 			cfg.Tracker.runStarted(spec.ID(), attempt)
 		}
-		run, err := attemptSpec(ctx, spec, cfg, cache)
+		run, rt, err := attemptSpec(ctx, spec, cfg, cache)
 		if err == nil {
 			res.Status = behavior.StatusOK
 			res.Run = run
 			res.Duration = time.Since(start)
+			graftRunTrace(sp, rt)
 			return res
 		}
 		lastErr = err
@@ -281,16 +301,18 @@ func runResilient(ctx context.Context, spec Spec, cfg Config, cache *graphCache)
 
 // attemptSpec makes one attempt at a spec: fault injection, per-attempt
 // deadline, and recovery from panics raised by the generator, driver, or
-// (via the engine's panic propagation) a vertex program.
-func attemptSpec(ctx context.Context, spec Spec, cfg Config, cache *graphCache) (run *behavior.Run, err error) {
+// (via the engine's panic propagation) a vertex program. The engine
+// trace is returned alongside the run so the caller can graft its
+// iteration/phase timeline onto the run span.
+func attemptSpec(ctx context.Context, spec Spec, cfg Config, cache *graphCache) (run *behavior.Run, rt *trace.RunTrace, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			run, err = nil, fmt.Errorf("panic: %v", p)
+			run, rt, err = nil, nil, fmt.Errorf("panic: %v", p)
 		}
 	}()
 	if cfg.InjectFault != nil {
 		if ferr := cfg.InjectFault(spec); ferr != nil {
-			return nil, ferr
+			return nil, nil, ferr
 		}
 	}
 	actx := ctx
@@ -299,8 +321,7 @@ func attemptSpec(ctx context.Context, spec Spec, cfg Config, cache *graphCache) 
 		actx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
-	run, _, err = runSpecTrace(actx, spec, cfg.Workers, cfg.Frontier, cache)
-	return run, err
+	return runSpecTrace(actx, spec, cfg.Workers, cfg.Frontier, cache)
 }
 
 // campaignCacheHook, when non-nil, receives every campaign's graph cache

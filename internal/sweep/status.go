@@ -101,9 +101,25 @@ type CampaignStatus struct {
 	Failed    int    `json:"failed"`
 	Cancelled int    `json:"cancelled"`
 	// ETAMs extrapolates the remaining wall time from the mean pace of
-	// finished specs (0 until the first spec finishes).
-	ETAMs int64      `json:"etaMs"`
-	Runs  []RunState `json:"runs"`
+	// finished specs. It is null (not 0, which would read as "done") until
+	// the first spec finishes — an all-pending campaign has no pace to
+	// extrapolate from.
+	ETAMs *int64 `json:"etaMs"`
+	// RunSeconds summarizes the per-spec wall-time distribution of the
+	// process-wide gcbench_sweep_run_seconds histogram as interpolated
+	// percentiles — the SLO view of run latency. Nil until a run finishes.
+	RunSeconds *RunSecondsSummary `json:"runSeconds,omitempty"`
+	Runs       []RunState         `json:"runs"`
+}
+
+// RunSecondsSummary is the /statusz percentile digest of per-spec wall
+// time, derived from the run-duration histogram's buckets by linear
+// interpolation (no raw samples are retained).
+type RunSecondsSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // begin registers the campaign's spec list; every spec starts pending.
@@ -183,7 +199,18 @@ func (t *Tracker) Snapshot() CampaignStatus {
 	}
 	if finished := s.Completed + s.Skipped + s.Failed + s.Cancelled; finished > 0 && s.ElapsedMs > 0 {
 		remaining := s.Total - finished
-		s.ETAMs = int64(float64(s.ElapsedMs) / float64(finished) * float64(remaining))
+		eta := int64(float64(s.ElapsedMs) / float64(finished) * float64(remaining))
+		s.ETAMs = &eta
+	}
+	if p50, ok := metricRunSeconds.Quantile(0.50); ok {
+		p95, _ := metricRunSeconds.Quantile(0.95)
+		p99, _ := metricRunSeconds.Quantile(0.99)
+		s.RunSeconds = &RunSecondsSummary{
+			Count: metricRunSeconds.Count(),
+			P50:   p50,
+			P95:   p95,
+			P99:   p99,
+		}
 	}
 	return s
 }

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/behavior"
+	"gcbench/internal/obs/otrace"
+)
+
+// TestTracingBehaviorInvariance pins the tracing contract: running a
+// campaign with a span in the context (traced) versus without (untraced)
+// yields bit-identical behavior vectors. The engine is never
+// instrumented — iteration/phase spans are synthesized afterwards from
+// walls it records regardless — so any divergence here means tracing
+// leaked into the measurement path.
+func TestTracingBehaviorInvariance(t *testing.T) {
+	for _, alg := range []algorithms.Name{algorithms.PR, algorithms.CC, algorithms.Jacobi} {
+		spec := smallSpec(alg)
+
+		baseRes := runResilient(context.Background(), spec, Config{Workers: 2}, &graphCache{})
+		if baseRes.Err != "" {
+			t.Fatalf("%s untraced: %s", alg, baseRes.Err)
+		}
+
+		store := otrace.NewStore(4)
+		_, root := store.StartTrace("test campaign", "job", otrace.TraceID{}, otrace.SpanID{})
+		ctx := otrace.ContextWithSpan(context.Background(), root)
+		tracedRes := runResilient(ctx, spec, Config{Workers: 2}, &graphCache{})
+		root.End()
+		if tracedRes.Err != "" {
+			t.Fatalf("%s traced: %s", alg, tracedRes.Err)
+		}
+
+		base, traced := baseRes.Run, tracedRes.Run
+		if base.Iterations != traced.Iterations || base.Converged != traced.Converged {
+			t.Fatalf("%s: traced run shape differs: %d/%v vs %d/%v",
+				alg, traced.Iterations, traced.Converged, base.Iterations, base.Converged)
+		}
+		// Bit-identical, not approximately equal: tracing must not perturb
+		// a single float. WORK is excluded — it is wall-time based and
+		// varies between any two runs, traced or not.
+		for _, d := range []int{behavior.UPDT, behavior.EREAD, behavior.MSG} {
+			if base.Raw[d] != traced.Raw[d] {
+				t.Fatalf("%s: %s = %v traced vs %v untraced",
+					alg, behavior.DimNames[d], traced.Raw[d], base.Raw[d])
+			}
+		}
+		for i := range base.ActiveFraction {
+			if base.ActiveFraction[i] != traced.ActiveFraction[i] {
+				t.Fatalf("%s: active fraction diverges at iteration %d", alg, i)
+			}
+		}
+
+		// And the traced run actually produced spans: run → iterations.
+		tr, ok := store.Get(root.TraceID())
+		if !ok {
+			t.Fatalf("%s: traced run recorded no trace", alg)
+		}
+		var runs, iters int
+		for _, sd := range tr.Spans() {
+			switch sd.Kind {
+			case "run":
+				runs++
+			case "iteration":
+				iters++
+			}
+		}
+		if runs == 0 || iters == 0 {
+			t.Fatalf("%s: trace has %d run spans, %d iteration spans", alg, runs, iters)
+		}
+	}
+}
+
+// BenchmarkRunTraced/BenchmarkRunUntraced measure the per-run cost of
+// tracing end to end (span open, graft of every iteration/phase span,
+// span close) against the bare runner. The engine reads no extra clocks
+// when traced, so the delta is the graft's allocation cost only — the
+// <5% overhead budget.
+func BenchmarkRunUntraced(b *testing.B) {
+	spec := smallSpec(algorithms.PR)
+	cache := &graphCache{}
+	runResilient(context.Background(), spec, Config{Workers: 2}, cache) // warm graph cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runResilient(context.Background(), spec, Config{Workers: 2}, cache)
+		if res.Err != "" {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func BenchmarkRunTraced(b *testing.B) {
+	spec := smallSpec(algorithms.PR)
+	cache := &graphCache{}
+	store := otrace.NewStore(8)
+	runResilient(context.Background(), spec, Config{Workers: 2}, cache) // warm graph cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, root := store.StartTrace("bench", "job", otrace.TraceID{}, otrace.SpanID{})
+		ctx := otrace.ContextWithSpan(context.Background(), root)
+		res := runResilient(ctx, spec, Config{Workers: 2}, cache)
+		root.End()
+		if res.Err != "" {
+			b.Fatal(res.Err)
+		}
+	}
+}
