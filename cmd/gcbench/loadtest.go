@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"gcbench"
+)
+
+// cmdLoadtest drives mixed traffic against a live `gcbench serve`
+// deployment and reports per-route latency percentiles:
+//
+//	gcbench loadtest -url http://127.0.0.1:8080 -duration 30s
+//	gcbench loadtest -url ... -requests 5000 -predict-p99 50 -out BENCH_serve.json
+//
+// The run fails (exit 1) on any 5xx response unless -allow-5xx, and on
+// a -predict-p99 gate violation, so it slots directly into CI smoke
+// jobs. With -campaigns the mix includes real POST /api/campaigns
+// submissions (quick-profile PR); the target must run with -jobs.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the serve deployment under test")
+	duration := fs.Duration("duration", 30*time.Second, "load duration (ignored when -requests is set)")
+	requests := fs.Int64("requests", 0, "total request budget (0 = run for -duration)")
+	concurrency := fs.Int("concurrency", 8, "concurrent workers")
+	seed := fs.Uint64("seed", 1, "operation-schedule seed (same seed = same schedule)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	keys := fs.String("keys", "", "comma-separated corpus keys for /api/behavior/{key} traffic (default: discovered from /api/runs)")
+	campaigns := fs.Bool("campaigns", false, "include quick-profile campaign submissions (target must run with -jobs)")
+	predictP99 := fs.Float64("predict-p99", 0, "fail unless /api/predict p99 ≤ this many milliseconds (0 = no gate)")
+	allow5xx := fs.Bool("allow-5xx", false, "tolerate 5xx responses instead of failing the run")
+	out := fs.String("out", "", "also write the full JSON report to this path")
+	vb := verbosityFlags(fs)
+	fs.Parse(args)
+	vb.setup()
+
+	var behaviorKeys []string
+	if *keys != "" {
+		behaviorKeys = strings.Split(*keys, ",")
+	} else {
+		var err error
+		if behaviorKeys, err = discoverKeys(*url, *timeout); err != nil {
+			return fmt.Errorf("discovering corpus keys (pass -keys to skip): %w", err)
+		}
+	}
+	mix := gcbench.ServeLoadMix(behaviorKeys)
+	if *campaigns {
+		mix = append(mix, gcbench.LoadTestOp{
+			Name: "campaign", Weight: 1, Method: http.MethodPost,
+			Paths: []string{"/api/campaigns"},
+			Body:  `{"profile":"quick","algorithms":["PR"],"label":"loadtest"}`,
+		})
+	}
+
+	// Ctrl-C ends the run early; the partial report still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := gcbench.RunLoadTest(ctx, gcbench.LoadTestConfig{
+		BaseURL:     *url,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Requests:    *requests,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		Mix:         mix,
+	})
+	if err != nil {
+		return err
+	}
+
+	printLoadReport(rep)
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+
+	var gates []gcbench.LoadTestGate
+	if *predictP99 > 0 {
+		gates = append(gates, gcbench.LoadTestGate{Route: "predict", MaxP99Ms: *predictP99, MinCount: 1})
+	}
+	return rep.Check(gates, !*allow5xx)
+}
+
+// discoverKeys pulls a spread of record keys from the live corpus so the
+// behavior op exercises real routes without the caller naming any.
+func discoverKeys(base string, timeout time.Duration) ([]string, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/api/runs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/api/runs returned %s", resp.Status)
+	}
+	var body struct {
+		Runs []struct {
+			Key string `json:"key"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if len(body.Runs) == 0 {
+		return nil, fmt.Errorf("corpus is empty")
+	}
+	// Up to four keys spread across the corpus.
+	var keys []string
+	step := max(1, len(body.Runs)/4)
+	for i := 0; i < len(body.Runs) && len(keys) < 4; i += step {
+		keys = append(keys, body.Runs[i].Key)
+	}
+	return keys, nil
+}
+
+// printLoadReport renders the per-route table, slowest p99 first.
+func printLoadReport(rep *gcbench.LoadTestReport) {
+	fmt.Printf("loadtest %s: %d requests over %.1fs, %d workers, seed %d\n",
+		rep.Target, rep.Requests, rep.DurationSeconds, rep.Concurrency, rep.Seed)
+	names := make([]string, 0, len(rep.Routes))
+	for name := range rep.Routes {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return rep.Routes[names[i]].P99Ms > rep.Routes[names[j]].P99Ms
+	})
+	fmt.Printf("%-10s %8s %8s %9s %9s %9s %9s %6s\n",
+		"route", "count", "rps", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)", "5xx")
+	for _, name := range names {
+		rs := rep.Routes[name]
+		fmt.Printf("%-10s %8d %8.1f %9.2f %9.2f %9.2f %9.2f %6d\n",
+			name, rs.Count, rs.RPS, rs.P50Ms, rs.P95Ms, rs.P99Ms, rs.MaxMs, rs.Status["5xx"])
+	}
+}

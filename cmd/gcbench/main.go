@@ -10,6 +10,8 @@
 //	gcbench figures [-runs runs.json] [-fig all|N|tableN] # regenerate figures/tables
 //	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
 //	gcbench serve   [-runs runs.json] [-listen :8080]    # corpus + ensemble design HTTP API
+//	gcbench serve   -shards 4 -replicas 2                # sharded, replicated serving tier
+//	gcbench loadtest -url http://host:8080 [-duration 30s] # mixed-load driver + latency report
 package main
 
 import (
@@ -47,6 +49,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,6 +75,7 @@ subcommands:
   ensemble  search the corpus for the best benchmark ensembles
   predict   interpolate a computation's behavior from the corpus (§7)
   serve     serve the corpus + ensemble design as a JSON HTTP API
+  loadtest  drive mixed load against a serve deployment, report latency percentiles
 
 run 'gcbench <subcommand> -h' for flags.
 `)

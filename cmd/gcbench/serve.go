@@ -29,6 +29,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline (plumbed into search loops)")
 	cacheSize := fs.Int("cache", 256, "design-response LRU cache entries")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	shards := fs.Int("shards", 1, "partition the corpus across this many consistent-hash shards (> 1 enables the sharded serving tier; responses stay byte-identical)")
+	replicas := fs.Int("replicas", 1, "read replicas per shard, each answering from its own immutable snapshot")
 	jobsOn := fs.Bool("jobs", false, "enable the async campaign API (POST /api/campaigns, /api/jobs): completed campaigns publish into the live corpus")
 	maxRunning := fs.Int("max-running", 1, "concurrently executing campaigns (with -jobs)")
 	queueDepth := fs.Int("queue-depth", 16, "campaigns queued behind the running ones before POST /api/campaigns sheds with 429 (with -jobs)")
@@ -41,7 +43,24 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
 	}
-	store := gcbench.NewCorpusStore(snap)
+	// -shards/-replicas switch the corpus backend from a single Store to
+	// the sharded, replicated tier; every /api response stays
+	// byte-identical either way (the differential harness's guarantee).
+	var store *gcbench.CorpusStore
+	var cluster *gcbench.ShardCluster
+	if *shards > 1 || *replicas > 1 {
+		cluster, err = gcbench.NewShardCluster(gcbench.ShardClusterOptions{
+			Shards: *shards, Replicas: *replicas,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := cluster.Load(context.Background(), snap); err != nil {
+			return err
+		}
+	} else {
+		store = gcbench.NewCorpusStore(snap)
+	}
 	var mgr *gcbench.JobManager
 	if *jobsOn {
 		mgr = gcbench.NewJobManager(gcbench.JobManagerConfig{
@@ -55,6 +74,7 @@ func cmdServe(args []string) error {
 	}
 	srv, err := gcbench.NewAPIServer(gcbench.APIServerConfig{
 		Store:          store,
+		Cluster:        cluster,
 		Samples:        *samples,
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -86,6 +106,8 @@ func cmdServe(args []string) error {
 		"records", len(snap.Records),
 		"okRuns", snap.OKCount(),
 		"poolSize", snap.PoolSize(),
+		"shards", *shards,
+		"replicas", *replicas,
 		"jobs", *jobsOn,
 		"endpoints", endpoints)
 

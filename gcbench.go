@@ -31,12 +31,14 @@ import (
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
 	"gcbench/internal/jobs"
+	"gcbench/internal/loadtest"
 	"gcbench/internal/nnindex"
 	"gcbench/internal/obs"
 	"gcbench/internal/obs/otrace"
 	"gcbench/internal/predict"
 	"gcbench/internal/report"
 	"gcbench/internal/serve"
+	"gcbench/internal/shard"
 	"gcbench/internal/sweep"
 	"gcbench/internal/trace"
 )
@@ -404,6 +406,51 @@ var (
 	NewCorpusStore          = corpus.NewStore
 	CorpusKeyOf             = corpus.KeyOf
 	NewAPIServer            = serve.New
+)
+
+// --- Sharded corpus serving tier ---
+
+// ShardCluster partitions a corpus across consistent-hash shards, each
+// serving reads from replicated immutable snapshots, with scatter-gather
+// search and versioned per-shard hot publish. Attach one via
+// APIServerConfig.Cluster (instead of Store) to serve sharded; the API's
+// JSON responses are byte-identical to the single-store path.
+type ShardCluster = shard.Cluster
+
+// ShardClusterOptions parameterizes NewShardCluster.
+type ShardClusterOptions = shard.Options
+
+// ShardView is a cluster's immutable merged read view: the combined
+// snapshot plus the per-shard version vector that produced it.
+type ShardView = shard.View
+
+// NewShardCluster builds an empty cluster; Load publishes the first
+// corpus version to every shard and makes the cluster ready.
+var NewShardCluster = shard.New
+
+// --- Load testing ---
+
+// LoadTestConfig parameterizes RunLoadTest: a target (live base URL or
+// in-process handler), worker count, a duration or request budget, and
+// a weighted operation mix.
+type LoadTestConfig = loadtest.Config
+
+// LoadTestOp is one weighted operation of a load-test traffic mix.
+type LoadTestOp = loadtest.Op
+
+// LoadTestReport is a load run's distilled result: per-route latency
+// percentiles, status-class counts and throughput.
+type LoadTestReport = loadtest.Report
+
+// LoadTestGate is one pass/fail criterion (p99 ceiling, request floor)
+// checked against a LoadTestReport.
+type LoadTestGate = loadtest.Gate
+
+// Load-test entry points. ServeLoadMix is the default mixed-traffic
+// profile against a `gcbench serve` deployment.
+var (
+	RunLoadTest  = loadtest.Run
+	ServeLoadMix = loadtest.ServeMix
 )
 
 // --- Async campaign jobs ---

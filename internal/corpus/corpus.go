@@ -153,6 +153,18 @@ func NewSnapshotFromJournal(entries []sweep.JournalEntry, source string) (*Snaps
 	return newSnapshot(records, source)
 }
 
+// NewSnapshotFromRecords builds a snapshot from pre-assembled records —
+// the entry point the shard coordinator uses to rebuild its merged
+// global view from per-shard partitions. Keys are (re)assigned by the
+// same deterministic first-wins-suffix rule as every other constructor,
+// so a record list in canonical sequence order yields exactly the keys,
+// normalization and index layout a single-store load of the same
+// records would. The records slice is retained and mutated (keys are
+// written in place); pass a copy when the caller still shares it.
+func NewSnapshotFromRecords(records []Record, source string) (*Snapshot, error) {
+	return newSnapshot(records, source)
+}
+
 // LoadFile loads a snapshot from either corpus format: a runs JSON array
 // (from `gcbench sweep -out`) or a JSONL checkpoint journal, detected by
 // the first non-space byte.
@@ -313,7 +325,14 @@ func (s *Snapshot) Select(f Filter) []int {
 }
 
 func (s *Snapshot) matches(i int, f Filter) bool {
-	rec := &s.Records[i]
+	return f.Matches(&s.Records[i])
+}
+
+// Matches reports whether rec satisfies the filter — the single
+// predicate shared by snapshot queries and the shard tier's scattered
+// partial selects, so a distributed query can never diverge from a
+// single-store scan.
+func (f Filter) Matches(rec *Record) bool {
 	if len(f.Algorithms) > 0 && !containsString(f.Algorithms, rec.Algorithm) {
 		return false
 	}
@@ -336,6 +355,21 @@ func (s *Snapshot) matches(i int, f Filter) bool {
 		}
 	}
 	return true
+}
+
+// PoolMember reports whether rec belongs to the §5.2 ensemble-design
+// pool: a measured graph-varying run. Shared with the shard tier so
+// scattered candidate sets agree exactly with PoolSelect.
+func PoolMember(rec *Record) bool {
+	if rec.Status != behavior.StatusOK || rec.Run == nil {
+		return false
+	}
+	for _, a := range report.GraphVaryingAlgorithms {
+		if a == rec.Algorithm {
+			return true
+		}
+	}
+	return false
 }
 
 func containsString(set []string, v string) bool {

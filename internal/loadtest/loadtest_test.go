@@ -1,0 +1,210 @@
+package loadtest
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countingHandler answers instantly and routes by path prefix so tests
+// can script status codes.
+func countingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+	mux.HandleFunc("/missing", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "broken", http.StatusInternalServerError)
+	})
+	return mux
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	mix := []Op{{Name: "ok", Weight: 1, Paths: []string{"/ok"}}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no target", Config{Mix: mix}},
+		{"two targets", Config{Handler: countingHandler(), BaseURL: "http://x", Mix: mix}},
+		{"empty mix", Config{Handler: countingHandler()}},
+		{"zero weight", Config{Handler: countingHandler(), Mix: []Op{{Name: "ok", Paths: []string{"/ok"}}}}},
+		{"no paths", Config{Handler: countingHandler(), Mix: []Op{{Name: "ok", Weight: 1}}}},
+		{"no name", Config{Handler: countingHandler(), Mix: []Op{{Weight: 1, Paths: []string{"/ok"}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(context.Background(), tc.cfg); err == nil {
+			t.Errorf("%s: Run accepted an invalid config", tc.name)
+		}
+	}
+}
+
+// TestRunDeterministicSchedule pins the driver's reproducibility
+// contract in its strongest form: one worker and a request budget yield
+// an identical report (down to every sampled latency count and status
+// tally) across runs with the same seed.
+func TestRunDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Handler:     countingHandler(),
+		Concurrency: 1,
+		Requests:    500,
+		Seed:        7,
+		Mix: []Op{
+			{Name: "ok", Weight: 3, Paths: []string{"/ok", "/ok?v=2"}},
+			{Name: "missing", Weight: 1, Paths: []string{"/missing"}},
+		},
+	}
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != 500 || b.Requests != 500 {
+		t.Fatalf("request budgets not honored: %d, %d", a.Requests, b.Requests)
+	}
+	for name, rs := range a.Routes {
+		other := b.Routes[name]
+		if other == nil || rs.Count != other.Count || !reflect.DeepEqual(rs.Status, other.Status) {
+			t.Errorf("route %s schedules diverge across same-seed runs: %+v vs %+v", name, rs, other)
+		}
+	}
+	// The 3:1 weighting shows up in the realized counts (binomial noise
+	// on 500 draws stays well inside ±15 points of the 375 expectation).
+	if ok := a.Routes["ok"].Count; ok < 330 || ok > 420 {
+		t.Errorf("weight-3 route got %d of 500 requests, want ≈375", ok)
+	}
+}
+
+func TestReportStatusAccounting(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Handler:     countingHandler(),
+		Concurrency: 4,
+		Requests:    400,
+		Mix: []Op{
+			{Name: "ok", Weight: 2, Paths: []string{"/ok"}},
+			{Name: "missing", Weight: 1, Paths: []string{"/missing"}},
+			{Name: "boom", Weight: 1, Paths: []string{"/boom"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 400 {
+		t.Fatalf("requests = %d, want 400", rep.Requests)
+	}
+	if rep.Routes["ok"].Status["2xx"] != rep.Routes["ok"].Count {
+		t.Errorf("ok route: %+v", rep.Routes["ok"].Status)
+	}
+	if rep.Routes["missing"].Status["4xx"] != rep.Routes["missing"].Count {
+		t.Errorf("missing route: %+v", rep.Routes["missing"].Status)
+	}
+	boom := rep.Routes["boom"]
+	if boom.Status["5xx"] != boom.Count || rep.Count5xx != boom.Count {
+		t.Errorf("5xx accounting: route %+v, report total %d", boom.Status, rep.Count5xx)
+	}
+	if rep.Non2xx != rep.Routes["missing"].Count+boom.Count {
+		t.Errorf("non2xx = %d, want %d", rep.Non2xx, rep.Routes["missing"].Count+boom.Count)
+	}
+	if boom.P99Ms < boom.P50Ms || boom.MaxMs < boom.P99Ms {
+		t.Errorf("percentile ordering violated: p50=%g p99=%g max=%g", boom.P50Ms, boom.P99Ms, boom.MaxMs)
+	}
+
+	// Gate semantics over the same report.
+	if err := rep.Check([]Gate{{Route: "ok", MaxP99Ms: 60_000, MinCount: 1}}, false); err != nil {
+		t.Errorf("passing gate failed: %v", err)
+	}
+	if err := rep.Check(nil, true); err == nil {
+		t.Error("forbid5xx did not fail a report with 5xx responses")
+	}
+	if err := rep.Check([]Gate{{Route: "ok", MaxP99Ms: 1e-9}}, false); err == nil {
+		t.Error("p99 ceiling of ~0 did not fail")
+	}
+	if err := rep.Check([]Gate{{Route: "ghost", MaxP99Ms: 1000}}, false); err == nil {
+		t.Error("gate on an unmeasured route did not fail")
+	}
+	if err := rep.Check([]Gate{{Route: "ok", MinCount: rep.Requests + 1}}, false); err == nil {
+		t.Error("unreachable MinCount did not fail")
+	}
+}
+
+// TestRunDurationBound asserts a duration-bound run terminates without a
+// request budget.
+func TestRunDurationBound(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Handler:     countingHandler(),
+		Concurrency: 2,
+		Duration:    50 * time.Millisecond,
+		Mix:         []Op{{Name: "ok", Weight: 1, Paths: []string{"/ok"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("duration-bound run issued no requests")
+	}
+	if rep.DurationSeconds <= 0 {
+		t.Fatalf("elapsed %g", rep.DurationSeconds)
+	}
+}
+
+// TestReservoirBoundsAndPercentiles exercises the sampling machinery
+// directly: the reservoir never exceeds its cap, max is exact, and the
+// quantile read matches the analytic value for a known distribution.
+func TestReservoirBoundsAndPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	st := &opState{status: map[string]int64{}}
+	const cap, n = 100, 10_000
+	for i := 1; i <= n; i++ {
+		st.observe(float64(i), rng, cap)
+	}
+	if len(st.samples) != cap || st.seen != n {
+		t.Fatalf("reservoir len=%d seen=%d", len(st.samples), st.seen)
+	}
+	if st.maxMs != n {
+		t.Fatalf("max = %g, want %d (max must be exact, not sampled)", st.maxMs, n)
+	}
+
+	// Percentile over an exact ascending slice.
+	sorted := make([]float64, 1000)
+	for i := range sorted {
+		sorted[i] = float64(i + 1)
+	}
+	if p := percentile(sorted, 0.50); p != 501 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := percentile(sorted, 0.99); p != 991 {
+		t.Errorf("p99 = %g", p)
+	}
+	if p := percentile(nil, 0.99); p != 0 {
+		t.Errorf("empty percentile = %g", p)
+	}
+}
+
+func TestServeMixShape(t *testing.T) {
+	mix := ServeMix([]string{"PR_1e5_a2.5"})
+	names := map[string]bool{}
+	for _, op := range mix {
+		names[op.Name] = true
+		if op.Weight < 1 || len(op.Paths) == 0 {
+			t.Errorf("op %s: weight=%d paths=%d", op.Name, op.Weight, len(op.Paths))
+		}
+		if op.Name == "behavior" && !strings.Contains(op.Paths[0], "PR_1e5_a2.5") {
+			t.Errorf("behavior paths ignore the given keys: %v", op.Paths)
+		}
+	}
+	for _, want := range []string{"predict", "runs", "behavior", "design", "best"} {
+		if !names[want] {
+			t.Errorf("ServeMix missing %s op", want)
+		}
+	}
+}

@@ -20,6 +20,14 @@ type ServerOptions struct {
 	// value is JSON-encoded on every request, so it should be a cheap
 	// snapshot, not a live structure.
 	Status func() any
+	// Ready, when non-nil, backs /readyz: it reports whether the service
+	// is ready to serve plus a JSON diagnostic detail (may be nil).
+	// Readiness is deliberately separate from /healthz liveness — a
+	// process can be alive (don't restart it) while still warming up
+	// (don't route traffic to it), e.g. a shard tier before every shard
+	// has published its first corpus version. Nil means "ready as soon as
+	// the process serves HTTP", preserving the old conflated behavior.
+	Ready func() (bool, any)
 	// Traces, when non-nil, additionally serves the request-trace store
 	// at /debug/traces and /debug/traces/{id}.
 	Traces *otrace.Store
@@ -30,6 +38,7 @@ type ServerOptions struct {
 //	/metrics       Prometheus text-format metric exposition
 //	/statusz       live JSON status (campaign progress when attached)
 //	/healthz       liveness probe ("ok")
+//	/readyz        readiness probe (503 until ServerOptions.Ready says yes)
 //	/debug/pprof/  the standard net/http/pprof profile handlers
 //	/debug/vars    expvar (runtime memstats + the gcbench metric bridge)
 type Server struct {
@@ -38,7 +47,7 @@ type Server struct {
 }
 
 // RegisterRoutes registers the observability endpoints — /metrics,
-// /statusz, /healthz, /debug/vars and /debug/pprof/* — on a
+// /statusz, /healthz, /readyz, /debug/vars and /debug/pprof/* — on a
 // caller-supplied mux, so servers that add their own routes (the sweep
 // campaign's -listen surface, the `gcbench serve` API) share one route
 // implementation instead of duplicating it.
@@ -53,6 +62,23 @@ func RegisterRoutes(mux *http.ServeMux, opts ServerOptions) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		ready, detail := true, any(nil)
+		if opts.Ready != nil {
+			ready, detail = opts.Ready()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		payload := map[string]any{"ready": ready}
+		if detail != nil {
+			payload["detail"] = detail
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(payload)
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

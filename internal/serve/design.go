@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
@@ -119,15 +120,17 @@ func dedupStrings(in []string) []string {
 }
 
 // cacheKey renders the canonical request identity. The corpus version
-// prefixes the key, so a hot-reload naturally invalidates every cached
-// design without racing in-flight requests on the old snapshot.
-func (req *designRequest) cacheKey(version int64) string {
+// tag prefixes the key — the store's scalar version, or the cluster's
+// shard version vector — so a publish naturally invalidates every
+// cached design whose inputs could have changed without racing
+// in-flight requests on the old snapshot.
+func (req *designRequest) cacheKey(versionTag string) string {
 	alphas := make([]string, len(req.Pool.Alphas))
 	for i, a := range req.Pool.Alphas {
 		alphas[i] = strconv.FormatFloat(a, 'g', -1, 64)
 	}
-	return fmt.Sprintf("v%d|metric=%s|method=%s|n=%d|seed=%d|steps=%d|algs=%s|sizes=%s|alphas=%s",
-		version, req.Metric, req.Method, req.N, req.Seed, req.Steps,
+	return fmt.Sprintf("%s|metric=%s|method=%s|n=%d|seed=%d|steps=%d|algs=%s|sizes=%s|alphas=%s",
+		versionTag, req.Metric, req.Method, req.N, req.Seed, req.Steps,
 		strings.Join(req.Pool.Algorithms, ","),
 		strings.Join(req.Pool.Sizes, ","),
 		strings.Join(alphas, ","))
@@ -182,14 +185,35 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveDesign is the shared cache → singleflight → worker-pool → search
-// path behind both design endpoints.
+// path behind both design endpoints. In cluster mode the candidate pool
+// is assembled by scatter-gather — each shard contributes the matching
+// pool members from its own partition, and the merge maps them back to
+// the merged view's pool indices — before the search finalizes with the
+// same scorers the single-store path uses.
 func (s *Server) serveDesign(w http.ResponseWriter, r *http.Request, req *designRequest) {
 	if err := req.normalize(); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", "%v", err)
 		return
 	}
-	snap := s.store.Snapshot()
-	poolIdx := snap.PoolSelect(req.filter())
+	snap, view, ok := s.currentCorpus(w)
+	if !ok {
+		return
+	}
+	var poolIdx []int
+	if view != nil {
+		seqs, err := s.cluster.Scatter(r.Context(), req.filter(), true)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "shard_unavailable", "%v", err)
+			return
+		}
+		for _, seq := range clampSeqs(seqs, len(snap.Records)) {
+			if pi := view.PoolIndexOfSeq(seq); pi >= 0 {
+				poolIdx = append(poolIdx, pi)
+			}
+		}
+	} else {
+		poolIdx = snap.PoolSelect(req.filter())
+	}
 	if len(poolIdx) == 0 {
 		writeError(w, http.StatusBadRequest, "empty_pool",
 			"no measured graph-varying runs match the pool restriction")
@@ -201,7 +225,7 @@ func (s *Server) serveDesign(w http.ResponseWriter, r *http.Request, req *design
 		return
 	}
 
-	key := req.cacheKey(snap.Version)
+	key := req.cacheKey(s.versionTag(snap, view))
 	if body, ok := s.cache.Get(key); ok {
 		s.mCacheHit.Inc()
 		reqInfoFrom(r.Context()).setCache("hit")
@@ -244,12 +268,21 @@ func (s *Server) writeDesignBody(w http.ResponseWriter, body []byte, cacheTag st
 	_, _ = w.Write(body)
 }
 
+// retryAfterJitter renders a Retry-After value drawn uniformly from
+// [base, 2*base] whole seconds. A constant Retry-After re-synchronizes
+// every client a shed burst turned away, so the same thundering herd
+// arrives again one constant interval later; the jitter spreads the
+// retries across a window as wide as the base delay.
+func retryAfterJitter(base int) string {
+	return strconv.Itoa(base + rand.IntN(base+1))
+}
+
 func (s *Server) writeDesignError(w http.ResponseWriter, err error) {
 	var inv errInvalid
 	switch {
 	case errors.Is(err, errSaturated):
 		s.mShed.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterJitter(1))
 		writeError(w, http.StatusTooManyRequests, "saturated",
 			"design queue is full; retry shortly")
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -133,7 +134,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", retryAfterJitter(5))
 		writeError(w, http.StatusTooManyRequests, "queue_full",
 			"campaign queue is full; retry later or cancel a queued job")
 		return
@@ -243,12 +244,27 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // publishRuns is the jobs.Manager publish sink: append the completed
-// job's measured runs to the live corpus store (which renormalizes the
+// job's measured runs to the live corpus (which renormalizes the
 // behavior space corpus-wide, preserving the ≤ 1.0 max-normalization
-// invariant) and invalidate the design cache for the new epoch. Cached
-// design keys embed the corpus version, so the purge is a memory
-// release, not a correctness requirement.
+// invariant).
+//
+// Single-store mode purges the design cache — keys embed the scalar
+// corpus version, so the purge is a memory release, not a correctness
+// requirement. Cluster mode deliberately does not purge: the append
+// republishes only the shards that own the new records, cache keys
+// embed the shard version vector (designs) or the owning shard's
+// version plus the normalization epoch (record fragments), so entries
+// built from unchanged shards keep serving and superseded keys age out
+// of the LRU.
 func (s *Server) publishRuns(jobID string, runs []*behavior.Run) (int64, error) {
+	if s.cluster != nil {
+		view, err := s.cluster.Append(context.Background(), runs, "job "+jobID)
+		if err != nil {
+			return 0, err
+		}
+		s.mPublishes.Inc()
+		return view.Epoch(), nil
+	}
 	snap, err := s.store.Append(runs, "job "+jobID)
 	if err != nil {
 		return 0, err

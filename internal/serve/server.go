@@ -41,12 +41,23 @@ import (
 	"gcbench/internal/jobs"
 	"gcbench/internal/obs"
 	"gcbench/internal/obs/otrace"
+	"gcbench/internal/shard"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// Store supplies corpus snapshots; required.
+	// Store supplies corpus snapshots. Exactly one of Store and Cluster
+	// must be set.
 	Store *corpus.Store
+	// Cluster, when non-nil, serves the API from the sharded, replicated
+	// corpus tier instead of a single store: listings and design
+	// candidate selection scatter-gather across the shards, single-record
+	// reads route to the key's owning shard, and completed campaign runs
+	// hot-publish to only the shards that own them. Responses are
+	// bit-identical to the Store path for any shard/replica count — the
+	// cluster's merged view is rebuilt through the same internal/corpus
+	// constructors (see internal/shard).
+	Cluster *shard.Cluster
 	// Samples sizes the shared Monte-Carlo coverage estimator
 	// (default ensemble.DefaultSamples, the paper's 10^6).
 	Samples int
@@ -91,9 +102,10 @@ type Config struct {
 // Server is the ensemble-design API server. Construct with New; the
 // zero value is not usable.
 type Server struct {
-	cfg   Config
-	store *corpus.Store
-	reg   *obs.Registry
+	cfg     Config
+	store   *corpus.Store
+	cluster *shard.Cluster
+	reg     *obs.Registry
 
 	covOnce sync.Once
 	cov     *ensemble.CoverageEstimator
@@ -151,8 +163,8 @@ var routeLatencyBuckets = []float64{
 // estimator is not built here — the first coverage-metric request pays
 // that cost once, and spread-only deployments never do.
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
-		return nil, fmt.Errorf("serve: Config.Store is required")
+	if (cfg.Store == nil) == (cfg.Cluster == nil) {
+		return nil, fmt.Errorf("serve: exactly one of Config.Store and Config.Cluster is required")
 	}
 	if cfg.Samples == 0 {
 		cfg.Samples = ensemble.DefaultSamples
@@ -180,13 +192,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	reg := cfg.Registry
 	s := &Server{
-		cfg:    cfg,
-		store:  cfg.Store,
-		reg:    reg,
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		pool:   newWorkPool(cfg.Workers, cfg.QueueDepth, reg),
-		start:  time.Now(),
+		cfg:     cfg,
+		store:   cfg.Store,
+		cluster: cfg.Cluster,
+		reg:     reg,
+		cache:   newLRUCache(cfg.CacheSize),
+		flight:  newFlightGroup(),
+		pool:    newWorkPool(cfg.Workers, cfg.QueueDepth, reg),
+		start:   time.Now(),
 
 		mRequests: reg.Counter("gcbench_serve_requests_total", "API requests served."),
 		mLatency: reg.Histogram("gcbench_serve_request_seconds",
@@ -229,10 +242,57 @@ func New(cfg Config) (*Server, error) {
 	obs.RegisterRoutes(mux, obs.ServerOptions{
 		Registry: reg,
 		Status:   func() any { return s.Status() },
+		Ready:    s.readiness,
 		Traces:   cfg.Traces,
 	})
 	s.handler = s.instrument(mux)
 	return s, nil
+}
+
+// corpusView returns the server's current global corpus state: the
+// store's snapshot with a nil view in single-store mode, or the shard
+// cluster's merged snapshot plus the view it belongs to. Handlers load
+// it once and use it for the whole request, so a concurrent publish
+// never gives one request two corpus versions. A nil snapshot means
+// nothing is published yet (a cluster before Load).
+func (s *Server) corpusView() (*corpus.Snapshot, *shard.View) {
+	if s.cluster != nil {
+		v := s.cluster.View()
+		if v == nil {
+			return nil, nil
+		}
+		return v.Merged, v
+	}
+	return s.store.Snapshot(), nil
+}
+
+// versionTag renders the corpus identity that prefixes every cache key:
+// the single store's scalar version, or the cluster's full shard
+// version vector — so a publish to one shard leaves cache entries built
+// from every unchanged shard's data addressable, while any entry whose
+// inputs could have changed gets a fresh key.
+func (s *Server) versionTag(snap *corpus.Snapshot, view *shard.View) string {
+	if view != nil {
+		return "vv" + view.VVString()
+	}
+	return fmt.Sprintf("v%d", snap.Version)
+}
+
+// readiness backs /readyz. A single-store server is ready once its
+// store has a snapshot; a cluster server is ready only when every shard
+// has published at least one corpus version — before that, scattered
+// queries would fail on the unpublished shards, so the probe keeps
+// traffic away instead of letting it 5xx.
+func (s *Server) readiness() (bool, any) {
+	if s.cluster != nil {
+		ready, infos := s.cluster.Ready(context.Background())
+		return ready, map[string]any{"shards": infos}
+	}
+	snap := s.store.Snapshot()
+	if snap == nil {
+		return false, nil
+	}
+	return true, map[string]any{"corpusVersion": snap.Version}
 }
 
 // estimator returns the shared coverage estimator, building it on first
@@ -378,7 +438,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // Status is the /statusz payload: a cheap point-in-time snapshot of the
 // serving state.
 func (s *Server) Status() map[string]any {
-	snap := s.store.Snapshot()
+	snap, view := s.corpusView()
 	st := map[string]any{
 		"service":       "gcbench-serve",
 		"uptimeSeconds": time.Since(s.start).Seconds(),
@@ -395,6 +455,17 @@ func (s *Server) Status() map[string]any {
 		st["records"] = len(snap.Records)
 		st["okRuns"] = snap.OKCount()
 		st["poolSize"] = snap.PoolSize()
+	}
+	if s.cluster != nil {
+		sh := map[string]any{
+			"count":    s.cluster.Shards(),
+			"replicas": s.cluster.Replicas(),
+		}
+		if view != nil {
+			sh["versionVector"] = view.VVString()
+			sh["normEpoch"] = view.NormEpoch
+		}
+		st["shards"] = sh
 	}
 	if s.cfg.Jobs != nil {
 		byState := map[jobs.State]int{}

@@ -70,7 +70,7 @@ func (s *Server) routeLabel(r *http.Request) string {
 		return "/api/unknown"
 	}
 	switch path {
-	case "/metrics", "/statusz", "/healthz":
+	case "/metrics", "/statusz", "/healthz", "/readyz":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/") {

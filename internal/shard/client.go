@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"context"
+
+	"gcbench/internal/corpus"
+)
+
+// Entry is one sharded corpus record: the record itself plus its global
+// sequence number — the record's position in the cluster-wide canonical
+// load order, which scatter-gather merges sort by so a reassembled
+// result is indistinguishable from a single-store scan.
+type Entry struct {
+	// Seq is the record's cluster-wide canonical position (0-based).
+	Seq int `json:"seq"`
+	// Record is the full corpus record, key pre-assigned by the
+	// coordinator (keys are global: collision suffixes depend on every
+	// record loaded before this one, not just the ones on this shard).
+	Record corpus.Record `json:"record"`
+}
+
+// InfoRequest asks a shard for its serving state.
+type InfoRequest struct{}
+
+// InfoResponse reports a shard's identity and publish state.
+type InfoResponse struct {
+	// Shard is the shard's index in the cluster.
+	Shard int `json:"shard"`
+	// Version is the shard's monotonic snapshot version (0 = nothing
+	// published yet; the shard is not ready).
+	Version uint64 `json:"version"`
+	// Records is the number of records in the current snapshot.
+	Records int `json:"records"`
+	// Replicas is the shard's replica count.
+	Replicas int `json:"replicas"`
+}
+
+// GetRequest fetches one record by key from the owning shard.
+type GetRequest struct {
+	Key string `json:"key"`
+}
+
+// GetResponse carries the record (Found false when the key is not in
+// the shard's current snapshot).
+type GetResponse struct {
+	Version uint64 `json:"version"`
+	Found   bool   `json:"found"`
+	Entry   Entry  `json:"entry"`
+}
+
+// SelectRequest scatters a corpus filter to a shard.
+type SelectRequest struct {
+	Filter corpus.Filter `json:"filter"`
+	// PoolOnly restricts the match to ensemble-pool members (measured
+	// graph-varying runs) — the design search's partial candidate sets.
+	PoolOnly bool `json:"poolOnly"`
+}
+
+// SelectResponse is a shard's partial result set: the matching entries
+// in ascending sequence order.
+type SelectResponse struct {
+	Version uint64 `json:"version"`
+	// Seqs lists the matching records' global sequence numbers,
+	// ascending. The coordinator maps them back to its merged view, so
+	// the wire payload stays compact (no record bodies).
+	Seqs []int `json:"seqs"`
+}
+
+// PublishRequest installs records on a shard. Replace true swaps the
+// shard's whole partition (initial load, reload); false appends to it
+// (hot-publish). Either way the shard builds one new immutable snapshot
+// and publishes it to every replica before acknowledging.
+type PublishRequest struct {
+	Replace bool    `json:"replace"`
+	Entries []Entry `json:"entries"`
+}
+
+// PublishResponse acknowledges the publish with the shard's new version.
+type PublishResponse struct {
+	Version uint64 `json:"version"`
+	Records int    `json:"records"`
+}
+
+// ShardClient is the shard boundary: RPC-shaped (context-first,
+// JSON-serializable request/response structs, no shared memory implied)
+// so the in-process implementation can later be replaced by a network
+// transport without changing the coordinator. Implementations must be
+// safe for concurrent use.
+type ShardClient interface {
+	// Info reports the shard's serving state (readiness = Version > 0).
+	Info(ctx context.Context, req InfoRequest) (InfoResponse, error)
+	// Get fetches one record by key from a read replica.
+	Get(ctx context.Context, req GetRequest) (GetResponse, error)
+	// Select evaluates a filter against a read replica's snapshot and
+	// returns the matching sequence numbers — one leg of a scatter-
+	// gather query.
+	Select(ctx context.Context, req SelectRequest) (SelectResponse, error)
+	// Publish installs a new or grown partition, versioning the shard.
+	Publish(ctx context.Context, req PublishRequest) (PublishResponse, error)
+}

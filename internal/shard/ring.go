@@ -1,0 +1,117 @@
+// Package shard is the sharded, replicated corpus serving tier: it
+// splits a behavior corpus across N store instances by consistent-hash
+// of record key, replicates each shard's immutable snapshots across R
+// replicas for lock-free reads, and coordinates scatter-gather queries
+// and versioned hot-publish through a Cluster.
+//
+// The shard boundary is the RPC-shaped ShardClient interface: every
+// method takes a context and exchanges JSON-serializable request/
+// response structs, so the in-process LocalShard can be swapped for a
+// wire transport without touching the coordinator. Results are bit-
+// identical to the single-store path by construction: the Cluster
+// rebuilds its merged global view (normalization maxima, canonical
+// record order, ensemble pool, predictor) through the same
+// internal/corpus constructors a single store uses, and scatter-gather
+// merges preserve the canonical sequence order.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the ring's default virtual-node count per
+// shard. 160 points per shard keeps the key distribution within a few
+// percent of uniform for realistic shard counts while the ring stays
+// small enough to rebuild instantly on resize.
+const DefaultVirtualNodes = 160
+
+// Ring is a consistent-hash ring mapping record keys to shard indices.
+// Each shard owns VirtualNodes points on the ring; a key belongs to the
+// shard owning the first point clockwise of the key's hash. Immutable
+// after construction — resizing builds a new Ring, and consistent
+// hashing bounds how many keys change owner to roughly K/N.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over shards shard indices (0..shards-1) with
+// vnodes virtual nodes each (0 means DefaultVirtualNodes).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 shard, got %d", shards)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 virtual node per shard, got %d", vnodes)
+	}
+	r := &Ring{vnodes: vnodes, shards: shards}
+	r.points = make([]ringPoint, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("shard-%d#vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical 64-bit hashes are vanishingly rare but must still
+		// order deterministically for the ring to be reproducible.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// VirtualNodes returns the per-shard virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Owner returns the shard index owning key.
+func (r *Ring) Owner(key string) int {
+	h := hashKey(key)
+	// First ring point at or clockwise of h, wrapping past the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hashKey is the ring's hash: 64-bit FNV-1a through a splitmix64
+// finalizer. Plain FNV-1a leaves similar short keys (record keys and
+// vnode labels differ in a handful of characters) correlated enough to
+// visibly skew the ring; the finalizer's avalanche restores uniform
+// point placement. Both stages are fixed algorithms — stable across
+// processes and Go versions, so a wire deployment's routers agree on
+// placement.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
