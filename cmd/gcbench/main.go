@@ -11,6 +11,8 @@
 //	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
 //	gcbench serve   [-runs runs.json] [-listen :8080]    # corpus + ensemble design HTTP API
 //	gcbench serve   -shards 4 -replicas 2                # sharded, replicated serving tier
+//	gcbench serve   -shards 4 -replicas 2 -shard-spawn   # each replica its own supervised OS process
+//	gcbench shard-serve -listen 127.0.0.1:9301 -shard 0  # one shard replica process (wire protocol)
 //	gcbench loadtest -url http://host:8080 [-duration 30s] # mixed-load driver + latency report
 package main
 
@@ -49,6 +51,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "shard-serve":
+		err = cmdShardServe(os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(os.Args[2:])
 	case "-h", "--help", "help":
@@ -75,6 +79,7 @@ subcommands:
   ensemble  search the corpus for the best benchmark ensembles
   predict   interpolate a computation's behavior from the corpus (§7)
   serve     serve the corpus + ensemble design as a JSON HTTP API
+  shard-serve  run one corpus shard replica as a wire-protocol process
   loadtest  drive mixed load against a serve deployment, report latency percentiles
 
 run 'gcbench <subcommand> -h' for flags.

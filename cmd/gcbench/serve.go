@@ -31,6 +31,8 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	shards := fs.Int("shards", 1, "partition the corpus across this many consistent-hash shards (> 1 enables the sharded serving tier; responses stay byte-identical)")
 	replicas := fs.Int("replicas", 1, "read replicas per shard, each answering from its own immutable snapshot")
+	shardAddrs := fs.String("shard-addrs", "", "serve over externally-started shard processes: shard groups separated by ';', replica endpoints by ',' (e.g. \"h:9301,h:9302;h:9303,h:9304\" = 2 shards × 2 replicas); see 'gcbench shard-serve'")
+	shardSpawn := fs.Bool("shard-spawn", false, "spawn -shards × -replicas 'gcbench shard-serve' child processes on loopback ports, supervised: crashed shards are restarted and rehydrated (epoch-fenced)")
 	jobsOn := fs.Bool("jobs", false, "enable the async campaign API (POST /api/campaigns, /api/jobs): completed campaigns publish into the live corpus")
 	maxRunning := fs.Int("max-running", 1, "concurrently executing campaigns (with -jobs)")
 	queueDepth := fs.Int("queue-depth", 16, "campaigns queued behind the running ones before POST /api/campaigns sheds with 429 (with -jobs)")
@@ -44,11 +46,59 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("loading corpus (run 'gcbench sweep' first): %w", err)
 	}
 	// -shards/-replicas switch the corpus backend from a single Store to
-	// the sharded, replicated tier; every /api response stays
-	// byte-identical either way (the differential harness's guarantee).
+	// the sharded, replicated tier; -shard-addrs/-shard-spawn further
+	// move each shard replica into its own OS process over TCP. Every
+	// /api response stays byte-identical across all four deployment
+	// shapes (the differential harness's guarantee).
 	var store *gcbench.CorpusStore
 	var cluster *gcbench.ShardCluster
-	if *shards > 1 || *replicas > 1 {
+	switch {
+	case *shardSpawn:
+		sup, groups, err := spawnWireCluster(context.Background(), *shards, *replicas)
+		if err != nil {
+			return err
+		}
+		defer sup.Stop()
+		clients, err := wireClients(groups)
+		if err != nil {
+			return err
+		}
+		cluster, err = gcbench.NewShardCluster(gcbench.ShardClusterOptions{
+			Shards: *shards, Replicas: *replicas, Clients: clients,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := cluster.Load(context.Background(), snap); err != nil {
+			return err
+		}
+		// A restarted replica process comes back empty (version 0); the
+		// restore hook republishes its partition above the epoch fence so
+		// the version vector never regresses.
+		sup.SetOnRestore(func(ctx context.Context, spec gcbench.ShardProcSpec) error {
+			_, err := cluster.Rehydrate(ctx, spec.Shard)
+			return err
+		})
+		slog.Info("spawned shard processes", "shards", *shards, "replicas", *replicas)
+	case *shardAddrs != "":
+		groups, err := parseShardAddrs(*shardAddrs)
+		if err != nil {
+			return err
+		}
+		clients, err := wireClients(groups)
+		if err != nil {
+			return err
+		}
+		cluster, err = gcbench.NewShardCluster(gcbench.ShardClusterOptions{
+			Shards: len(groups), Replicas: len(groups[0]), Clients: clients,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := cluster.Load(context.Background(), snap); err != nil {
+			return err
+		}
+	case *shards > 1 || *replicas > 1:
 		cluster, err = gcbench.NewShardCluster(gcbench.ShardClusterOptions{
 			Shards: *shards, Replicas: *replicas,
 		})
@@ -58,7 +108,7 @@ func cmdServe(args []string) error {
 		if _, err := cluster.Load(context.Background(), snap); err != nil {
 			return err
 		}
-	} else {
+	default:
 		store = gcbench.NewCorpusStore(snap)
 	}
 	var mgr *gcbench.JobManager

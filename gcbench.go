@@ -428,6 +428,49 @@ type ShardView = shard.View
 // corpus version to every shard and makes the cluster ready.
 var NewShardCluster = shard.New
 
+// --- Wire-transport shard processes ---
+
+// ShardClient is the RPC-shaped interface every shard transport
+// implements: in-process (LocalShard), over the wire (RemoteShard), or
+// replica-aggregating (ShardReplicaSet). Inject transports via
+// ShardClusterOptions.Clients.
+type ShardClient = shard.ShardClient
+
+// RemoteShard speaks the shard wire protocol to one replica process
+// over pooled HTTP connections, with per-call deadlines and bounded,
+// jittered retry on transport-level read failures.
+type RemoteShard = shard.RemoteShard
+
+// RemoteShardOptions parameterizes NewRemoteShard.
+type RemoteShardOptions = shard.RemoteOptions
+
+// ShardReplicaSet aggregates R replica endpoints of one shard into a
+// single logical ShardClient: round-robin reads with failover to
+// survivors, fan-out publishes, and Down-aware Info for /readyz.
+type ShardReplicaSet = shard.ReplicaSet
+
+// ShardSupervisor owns a fleet of shard replica processes: spawn,
+// health-check, restart on crash, and rehydrate (epoch-fenced) via the
+// restore hook.
+type ShardSupervisor = shard.Supervisor
+
+// ShardSupervisorOptions parameterizes NewShardSupervisor.
+type ShardSupervisorOptions = shard.SupervisorOptions
+
+// ShardProcSpec names one supervised shard replica process.
+type ShardProcSpec = shard.ProcSpec
+
+// Wire-transport entry points. ShardRPCHandler serves a ShardClient
+// over the wire protocol; NewProcessShard is the single-replica shard a
+// standalone `gcbench shard-serve` process wraps in it.
+var (
+	NewRemoteShard     = shard.NewRemoteShard
+	NewShardReplicaSet = shard.NewReplicaSet
+	NewShardSupervisor = shard.NewSupervisor
+	ShardRPCHandler    = shard.RPCHandler
+	NewProcessShard    = shard.NewProcessShard
+)
+
 // --- Load testing ---
 
 // LoadTestConfig parameterizes RunLoadTest: a target (live base URL or

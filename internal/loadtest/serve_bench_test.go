@@ -80,6 +80,51 @@ func shardedServer(t testing.TB, shards, replicas int, mgr *jobs.Manager) *serve
 	return s
 }
 
+// wireServer is the same corpus partitioned across `shards` wire-
+// transport shard endpoints: each shard is served over real loopback
+// TCP (httptest server speaking the shard RPC protocol) through a
+// RemoteShard client wrapped in the production ReplicaSet layer. The
+// only difference from shardedServer is the transport, which is exactly
+// what the wire-overhead ratio isolates.
+func wireServer(t testing.TB, shards int, mgr *jobs.Manager) *serve.Server {
+	t.Helper()
+	std := standardSnapshot(t)
+	records := append([]corpus.Record(nil), std.Records...)
+	snap, err := corpus.NewSnapshotFromRecords(records, std.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	clients := make([]shard.ShardClient, shards)
+	for i := 0; i < shards; i++ {
+		srv := httptest.NewServer(shard.RPCHandler(shard.NewProcessShard(i)))
+		t.Cleanup(srv.Close)
+		remote := shard.NewRemoteShard(srv.URL, shard.RemoteOptions{Shard: i, Registry: reg})
+		rs, err := shard.NewReplicaSet(i, []shard.ShardClient{remote}, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = rs
+	}
+	c, err := shard.New(shard.Options{Shards: shards, Clients: clients, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(context.Background(), snap); err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Cluster:  c,
+		Samples:  50_000,
+		Registry: obs.NewRegistry(),
+		Jobs:     mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // designLatency measures uncached design-search wall time on a handler:
 // each rep uses a distinct anneal seed (a distinct cache key on every
 // deployment), so every rep pays the full search, and the minimum over
@@ -143,6 +188,16 @@ func TestWriteServeBenchArtifact(t *testing.T) {
 	t.Logf("design search: single=%v sharded(%dx%d)=%v ratio=%.3f",
 		singleDesign, shards, replicas, shardedDesign, ratio)
 
+	// Phase 1b — wire-transport overhead: the same 4 shards served over
+	// real loopback TCP (shard RPC protocol + JSON marshalling) instead
+	// of in-process calls. The ratio against the in-process cluster is
+	// the cost of the wire itself.
+	wire := wireServer(t, shards, nil)
+	wireDesign := designLatency(t, wire.Handler(), 5)
+	wireRatio := float64(wireDesign) / float64(shardedDesign)
+	t.Logf("design search: wire(%d procs)=%v wire/in-process ratio=%.3f",
+		shards, wireDesign, wireRatio)
+
 	// Phase 2 — mixed load on the sharded deployment. Campaign traffic
 	// is real: quick-profile PR campaigns submitted through the jobs
 	// API; one executes at a time, the rest exercise the 429 queue-full
@@ -173,6 +228,8 @@ func TestWriteServeBenchArtifact(t *testing.T) {
 		"designSingleMs":      float64(singleDesign.Microseconds()) / 1000,
 		"designShardedMs":     float64(shardedDesign.Microseconds()) / 1000,
 		"designShardedRatio":  ratio,
+		"designWireMs":        float64(wireDesign.Microseconds()) / 1000,
+		"wireOverheadRatio":   wireRatio,
 		"shards":              shards,
 		"replicas":            replicas,
 		"campaignSubmissions": rep.Routes["campaign"].Count,
@@ -198,5 +255,12 @@ func TestWriteServeBenchArtifact(t *testing.T) {
 	if ratio > 1.25 {
 		t.Errorf("scatter-gather design path is %.2fx single-store (gate 1.25x): single=%v sharded=%v",
 			ratio, singleDesign, shardedDesign)
+	}
+	// The wire gate is looser: loopback TCP + JSON on the scatter is real
+	// cost, but the design search still dominates — a blown gate means a
+	// serialization or retry-storm regression, not normal wire tax.
+	if wireRatio > 2.5 {
+		t.Errorf("wire transport is %.2fx the in-process cluster (gate 2.5x): in-process=%v wire=%v",
+			wireRatio, shardedDesign, wireDesign)
 	}
 }

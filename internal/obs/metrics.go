@@ -151,6 +151,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindHistogramVec
+	kindCounterVec
 )
 
 type metric struct {
@@ -161,6 +162,7 @@ type metric struct {
 	g    *Gauge
 	h    *Histogram
 	hv   *HistogramVec
+	cv   *CounterVec
 }
 
 // Registry holds named metrics and renders them in Prometheus text
@@ -234,6 +236,29 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	h.counts = make([]atomic.Uint64, len(bounds)+1)
 	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, h: h}
 	return h
+}
+
+// CounterVec returns the labeled counter family registered under name,
+// creating it with the given label names if absent. See CounterVec.With.
+func (r *Registry) CounterVec(name, help string, labels []string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindCounterVec {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+		}
+		return m.cv
+	}
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: counter vec %q needs at least one label", name))
+	}
+	cv := &CounterVec{
+		name:     name,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*Counter),
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounterVec, cv: cv}
+	return cv
 }
 
 // HistogramVec returns the labeled histogram family registered under
@@ -315,6 +340,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum += m.h.counts[len(m.h.bounds)].Load()
 			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
 				m.name, cum, m.name, formatValue(m.h.Sum()), m.name, m.h.Count())
+		case kindCounterVec:
+			if _, err = fmt.Fprintf(w, "# TYPE %s counter\n", m.name); err != nil {
+				return err
+			}
+			keys, cs := m.cv.sortedChildren()
+			for i, c := range cs {
+				if _, err = fmt.Fprintf(w, "%s{%s} %s\n", m.name, keys[i], formatValue(c.Value())); err != nil {
+					return err
+				}
+			}
 		case kindHistogramVec:
 			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
 				return err
@@ -358,6 +393,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 		case kindHistogram:
 			out[name+"_sum"] = m.h.Sum()
 			out[name+"_count"] = float64(m.h.Count())
+		case kindCounterVec:
+			keys, cs := m.cv.sortedChildren()
+			for i, c := range cs {
+				out[name+"{"+keys[i]+"}"] = c.Value()
+			}
 		case kindHistogramVec:
 			keys, hs := m.hv.sortedChildren()
 			for i, h := range hs {

@@ -49,14 +49,70 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 // renderLabels produces the canonical Prometheus label text for the
 // given values: names sorted at registration time, values escaped.
 func (v *HistogramVec) renderLabels(values []string) string {
-	if len(values) != len(v.labels) {
-		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	return renderLabels(v.name, v.labels, values)
+}
+
+func renderLabels(name string, labels, values []string) string {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d", name, len(labels), len(values)))
 	}
 	parts := make([]string, len(values))
 	for i, val := range values {
-		parts[i] = v.labels[i] + `="` + escapeLabel(val) + `"`
+		parts[i] = labels[i] + `="` + escapeLabel(val) + `"`
 	}
 	return strings.Join(parts, ",")
+}
+
+// CounterVec is a family of Counters sharing one name, distinguished by
+// label values — the shard tier's per-shard × RPC-kind error counts.
+// Children are created on first use and never evicted; label sets are
+// expected to be low-cardinality by construction (shard indices × a
+// fixed operation vocabulary).
+type CounterVec struct {
+	name   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Counter // key: rendered label text
+}
+
+// With returns the child counter for the given label values (one per
+// registered label name, in order), creating it on first use. The
+// returned *Counter is cacheable by the caller; Inc/Add on it is the
+// same lock-free atomic path as an unlabeled counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := renderLabels(v.name, v.labels, values)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[key] = c
+	return c
+}
+
+// sortedChildren snapshots the children sorted by label text for stable
+// exposition.
+func (v *CounterVec) sortedChildren() (keys []string, cs []*Counter) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys = make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cs = make([]*Counter, len(keys))
+	for i, k := range keys {
+		cs[i] = v.children[k]
+	}
+	return keys, cs
 }
 
 // escapeLabel escapes a label value per the Prometheus text format.

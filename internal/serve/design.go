@@ -286,7 +286,11 @@ func (s *Server) writeDesignError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, "saturated",
 			"design queue is full; retry shortly")
 	case errors.Is(err, context.DeadlineExceeded):
-		w.Header().Set("Retry-After", "1")
+		// Jittered for the same herd-desynchronization reason as the 429
+		// sites: every request sharing the expired deadline fails within
+		// the same instant, and a constant hint would march them all back
+		// in lockstep.
+		w.Header().Set("Retry-After", retryAfterJitter(1))
 		writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
 			"design search exceeded the request deadline")
 	case errors.Is(err, context.Canceled):

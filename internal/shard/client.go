@@ -27,12 +27,18 @@ type InfoResponse struct {
 	// Shard is the shard's index in the cluster.
 	Shard int `json:"shard"`
 	// Version is the shard's monotonic snapshot version (0 = nothing
-	// published yet; the shard is not ready).
+	// published yet; the shard is not ready). For a replica set it is
+	// the minimum over reachable replicas — the version every read is
+	// guaranteed to see at least.
 	Version uint64 `json:"version"`
 	// Records is the number of records in the current snapshot.
 	Records int `json:"records"`
 	// Replicas is the shard's replica count.
 	Replicas int `json:"replicas"`
+	// Down counts replica endpoints that are currently unreachable.
+	// Reads keep serving from the survivors, but /readyz reports the
+	// shard degraded until the supervisor restores them.
+	Down int `json:"down,omitempty"`
 }
 
 // GetRequest fetches one record by key from the owning shard.
@@ -73,6 +79,15 @@ type SelectResponse struct {
 type PublishRequest struct {
 	Replace bool    `json:"replace"`
 	Entries []Entry `json:"entries"`
+	// MinVersion is the publish's epoch fence: the shard's new snapshot
+	// version is max(current+1, MinVersion). The coordinator always
+	// sends its last acknowledged version + 1, which pins two
+	// invariants at once: replicas of one shard acknowledge the same
+	// publish at the same version, and a shard process that crashed and
+	// restarted with version 0 rejoins at a version strictly above
+	// everything it served before — so version-vector-keyed response
+	// caches can never alias a pre-crash body onto post-restart data.
+	MinVersion uint64 `json:"minVersion,omitempty"`
 }
 
 // PublishResponse acknowledges the publish with the shard's new version.

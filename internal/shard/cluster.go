@@ -27,6 +27,13 @@ type Options struct {
 	VirtualNodes int
 	// Registry receives the gcbench_shard_* metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Clients, when non-empty, supplies one logical transport per shard
+	// — e.g. a ReplicaSet of RemoteShards over TCP — instead of the
+	// default in-process LocalShards. len(Clients) must equal Shards
+	// (or Shards may be left 0 to derive it). Replicas then only
+	// describes the deployment for /statusz; the replica fan-out lives
+	// inside the injected clients.
+	Clients []ShardClient
 }
 
 // View is one consistent, immutable global state of the cluster: the
@@ -77,11 +84,25 @@ func (v *View) VVString() string {
 }
 
 // PoolIndexOfSeq maps a global sequence number to the merged pool index
-// (-1 when the record is not a pool member).
-func (v *View) PoolIndexOfSeq(seq int) int { return v.poolIdxBySeq[seq] }
+// (-1 when the record is not a pool member, or when seq is outside this
+// view — a caller racing a publish can hold a seq from a newer view
+// than the one it loaded, and must treat it as not-yet-visible rather
+// than panic).
+func (v *View) PoolIndexOfSeq(seq int) int {
+	if seq < 0 || seq >= len(v.poolIdxBySeq) {
+		return -1
+	}
+	return v.poolIdxBySeq[seq]
+}
 
-// OwnerOfSeq returns the shard owning the record at seq.
-func (v *View) OwnerOfSeq(seq int) int { return v.ownerBySeq[seq] }
+// OwnerOfSeq returns the shard owning the record at seq, or -1 when seq
+// is outside this view (see PoolIndexOfSeq).
+func (v *View) OwnerOfSeq(seq int) int {
+	if seq < 0 || seq >= len(v.ownerBySeq) {
+		return -1
+	}
+	return v.ownerBySeq[seq]
+}
 
 // Cluster coordinates N consistent-hash shards with R replicas each:
 // global key assignment, versioned per-shard hot-publish, the merged
@@ -100,12 +121,17 @@ type Cluster struct {
 
 	mFanouts  *obs.Counter
 	mShardLat *obs.HistogramVec
+	mRPCErrs  *obs.CounterVec
 }
 
-// shardLatencyBuckets resolves the in-process microsecond regime while
-// leaving headroom for a future wire transport's milliseconds.
+// shardLatencyBuckets resolve the in-process microsecond regime and the
+// wire regime: a remote shard RPC on a loaded network lands in
+// milliseconds-to-seconds, and bounded retries on a flapping process
+// push the tail past the old 1s ceiling — without the 2.5/10/30s
+// buckets every wire-mode latency collapses into +Inf and the histogram
+// tail goes blind exactly when it matters.
 var shardLatencyBuckets = []float64{
-	1e-6, 5e-6, 25e-6, 100e-6, 500e-6, .002, .01, .05, .25, 1,
+	1e-6, 5e-6, 25e-6, 100e-6, 500e-6, .002, .01, .05, .25, 1, 2.5, 10, 30,
 }
 
 // New builds an empty cluster: ring and shards exist, but nothing is
@@ -113,13 +139,16 @@ var shardLatencyBuckets = []float64{
 // Load. This unpublished state is exactly what /readyz reports 503 for.
 func New(opts Options) (*Cluster, error) {
 	if opts.Shards == 0 {
-		opts.Shards = 1
+		opts.Shards = max(1, len(opts.Clients))
 	}
 	if opts.Replicas == 0 {
 		opts.Replicas = 1
 	}
 	if opts.Shards < 1 || opts.Replicas < 1 {
 		return nil, fmt.Errorf("shard: need ≥ 1 shard and ≥ 1 replica, got %d × %d", opts.Shards, opts.Replicas)
+	}
+	if len(opts.Clients) > 0 && len(opts.Clients) != opts.Shards {
+		return nil, fmt.Errorf("shard: %d injected clients for %d shards", len(opts.Clients), opts.Shards)
 	}
 	if opts.Registry == nil {
 		opts.Registry = obs.Default()
@@ -136,12 +165,26 @@ func New(opts Options) (*Cluster, error) {
 		mShardLat: opts.Registry.HistogramVec("gcbench_shard_request_seconds",
 			"Shard RPC latency in seconds by shard and operation.",
 			[]string{"shard", "op"}, shardLatencyBuckets),
+		mRPCErrs: opts.Registry.CounterVec(rpcErrorsMetric,
+			rpcErrorsHelp, []string{"shard", "kind"}),
 	}
-	for i := 0; i < opts.Shards; i++ {
-		c.shards = append(c.shards, NewLocalShard(i, opts.Replicas, corpus.PoolMember))
+	if len(opts.Clients) > 0 {
+		c.shards = append(c.shards, opts.Clients...)
+	} else {
+		for i := 0; i < opts.Shards; i++ {
+			c.shards = append(c.shards, NewLocalShard(i, opts.Replicas, corpus.PoolMember))
+		}
 	}
 	return c, nil
 }
+
+// rpcErrorsMetric is shared by the Cluster (logical call failures) and
+// the wire transports (per-attempt and per-replica failures), so one
+// scrape shows the whole failure picture by shard and kind.
+const (
+	rpcErrorsMetric = "gcbench_shard_rpc_errors_total"
+	rpcErrorsHelp   = "Shard RPC failures by shard and kind (logical op, per-replica attempt, or transport retry)."
+)
 
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return c.opts.Shards }
@@ -155,15 +198,19 @@ func (c *Cluster) Ring() *Ring { return c.ring }
 // View returns the current global view (nil before Load).
 func (c *Cluster) View() *View { return c.view.Load() }
 
-// Ready reports whether every shard has published at least one version
-// and a global view exists — the /readyz criterion — plus the per-shard
-// serving state for the probe's diagnostic payload.
+// Ready reports whether every shard has published at least one version,
+// every replica process is reachable, and a global view exists — the
+// /readyz criterion — plus the per-shard serving state for the probe's
+// diagnostic payload. A shard with a dead replica keeps answering reads
+// through failover, but readiness stays false until the supervisor
+// restores the replica: the probe's job is to say "degraded", the
+// survivors' job is to keep the reads flowing meanwhile.
 func (c *Cluster) Ready(ctx context.Context) (bool, []InfoResponse) {
 	infos := make([]InfoResponse, len(c.shards))
 	ready := c.View() != nil
 	for i, s := range c.shards {
 		info, err := s.Info(ctx, InfoRequest{})
-		if err != nil || info.Version == 0 {
+		if err != nil || info.Version == 0 || info.Down > 0 {
 			ready = false
 		}
 		info.Shard = i
@@ -269,10 +316,14 @@ func (c *Cluster) Reload(ctx context.Context) (*View, error) {
 // publishAll pushes partitions to their shards in parallel (one RPC per
 // shard, each serialized only by that shard's own publish mutex). With
 // affected non-nil, only flagged shards are published (append); nil
-// publishes every shard (replace). Any failure aborts the view swap, so
-// readers keep the previous consistent view; the cluster then needs a
-// Reload to re-establish partition/view agreement.
+// publishes every shard (replace). Every publish carries the epoch
+// fence — last acknowledged version + 1 — so replicas acknowledge in
+// lockstep and restarted processes can never regress the version
+// vector. Any failure aborts the view swap, so readers keep the
+// previous consistent view; the cluster then needs a Reload to
+// re-establish partition/view agreement.
 func (c *Cluster) publishAll(ctx context.Context, parts [][]Entry, replace bool, affected []bool) error {
+	fence := c.fences()
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.shards))
 	for i := range c.shards {
@@ -283,7 +334,9 @@ func (c *Cluster) publishAll(ctx context.Context, parts [][]Entry, replace bool,
 		go func(i int) {
 			defer wg.Done()
 			begin := time.Now()
-			_, err := c.shards[i].Publish(ctx, PublishRequest{Replace: replace, Entries: parts[i]})
+			_, err := c.shards[i].Publish(ctx, PublishRequest{
+				Replace: replace, Entries: parts[i], MinVersion: fence[i],
+			})
 			c.mShardLat.With(strconv.Itoa(i), "publish").Observe(time.Since(begin).Seconds())
 			errs[i] = err
 		}(i)
@@ -291,10 +344,27 @@ func (c *Cluster) publishAll(ctx context.Context, parts [][]Entry, replace bool,
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			c.mRPCErrs.With(strconv.Itoa(i), "publish").Inc()
 			return fmt.Errorf("shard %d: publish: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// fences returns the per-shard publish fence: the last version the
+// coordinator saw acknowledged, plus one. Called with pubMu held.
+func (c *Cluster) fences() []uint64 {
+	fence := make([]uint64, len(c.shards))
+	if cur := c.View(); cur != nil {
+		for i, v := range cur.VV {
+			fence[i] = v + 1
+		}
+	} else {
+		for i := range fence {
+			fence[i] = 1
+		}
+	}
+	return fence
 }
 
 // installView assembles and atomically publishes the next global view
@@ -312,6 +382,7 @@ func (c *Cluster) installView(ctx context.Context, merged *corpus.Snapshot) (*Vi
 	for i, s := range c.shards {
 		info, err := s.Info(ctx, InfoRequest{})
 		if err != nil {
+			c.mRPCErrs.With(strconv.Itoa(i), "info").Inc()
 			return nil, fmt.Errorf("shard %d: info: %w", i, err)
 		}
 		vv[i] = info.Version
@@ -368,6 +439,7 @@ func (c *Cluster) Get(ctx context.Context, key string) (GetResponse, error) {
 	resp, err := c.shards[owner].Get(ctx, GetRequest{Key: key})
 	c.mShardLat.With(strconv.Itoa(owner), "get").Observe(time.Since(begin).Seconds())
 	if err != nil {
+		c.mRPCErrs.With(strconv.Itoa(owner), "get").Inc()
 		sp.Fail(err.Error())
 	}
 	sp.End()
@@ -414,6 +486,7 @@ func (c *Cluster) Scatter(ctx context.Context, f corpus.Filter, poolOnly bool) (
 	total := 0
 	for i := range c.shards {
 		if errs[i] != nil {
+			c.mRPCErrs.With(strconv.Itoa(i), op).Inc()
 			sp.Fail(errs[i].Error())
 			return nil, fmt.Errorf("shard %d: select: %w", i, errs[i])
 		}
@@ -426,4 +499,65 @@ func (c *Cluster) Scatter(ctx context.Context, f corpus.Filter, poolOnly bool) (
 	sort.Ints(merged)
 	sp.SetAttr("matches", total)
 	return merged, nil
+}
+
+// Rehydrate restores a restarted shard from the coordinator's current
+// merged view: the shard's whole partition is republished (Replace, to
+// every replica) with the epoch fence, and a new view installs with
+// that shard's version-vector entry advanced. Restart amnesia is the
+// failure this heals — a shard process that crashed lost both its
+// in-memory partition and its version counter; the republish restores
+// the exact records the merged view says it owns (including every
+// hot-publish since initial load, which the on-disk corpus source alone
+// would not), and the fence lands it strictly above every version it
+// served before.
+//
+// The merged snapshot itself is unchanged — the corpus did not move, so
+// the cluster epoch (corpusVersion) and NormEpoch stay put and every
+// /api body renders exactly as before the crash. Only the version
+// vector advances, which retires the dead process's cache keys: caches
+// keyed on (VV) or (owner version, NormEpoch) can never serve a body
+// the restarted shard no longer backs.
+func (c *Cluster) Rehydrate(ctx context.Context, shardID int) (*View, error) {
+	if shardID < 0 || shardID >= len(c.shards) {
+		return nil, fmt.Errorf("shard: rehydrate shard %d of %d", shardID, len(c.shards))
+	}
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	cur := c.View()
+	if cur == nil {
+		return nil, fmt.Errorf("shard: cluster has no published view to rehydrate from")
+	}
+	var part []Entry
+	for seq := range cur.Merged.Records {
+		if cur.ownerBySeq[seq] == shardID {
+			part = append(part, Entry{Seq: seq, Record: cur.Merged.Records[seq]})
+		}
+	}
+	begin := time.Now()
+	_, err := c.shards[shardID].Publish(ctx, PublishRequest{
+		Replace: true, Entries: part, MinVersion: cur.VV[shardID] + 1,
+	})
+	c.mShardLat.With(strconv.Itoa(shardID), "rehydrate").Observe(time.Since(begin).Seconds())
+	if err != nil {
+		c.mRPCErrs.With(strconv.Itoa(shardID), "rehydrate").Inc()
+		return nil, fmt.Errorf("shard %d: rehydrate: %w", shardID, err)
+	}
+	info, err := c.shards[shardID].Info(ctx, InfoRequest{})
+	if err != nil {
+		c.mRPCErrs.With(strconv.Itoa(shardID), "info").Inc()
+		return nil, fmt.Errorf("shard %d: info after rehydrate: %w", shardID, err)
+	}
+	vv := append([]uint64(nil), cur.VV...)
+	vv[shardID] = info.Version
+	v := &View{
+		Merged:       cur.Merged,
+		VV:           vv,
+		NormEpoch:    cur.NormEpoch,
+		BuiltAt:      time.Now(),
+		poolIdxBySeq: cur.poolIdxBySeq,
+		ownerBySeq:   cur.ownerBySeq,
+	}
+	c.view.Store(v)
+	return v, nil
 }

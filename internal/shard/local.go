@@ -145,8 +145,17 @@ func (s *LocalShard) Publish(_ context.Context, req PublishRequest) (PublishResp
 				s.id, entries[i].Seq, entries[i-1].Seq)
 		}
 	}
+	// Epoch fence: never publish below the coordinator's MinVersion. A
+	// fresh process (version 0) rehydrating after a crash lands at the
+	// fence — strictly above every version it served before — instead
+	// of restarting at 1 and aliasing stale cache entries.
+	version := s.version.Load() + 1
+	if req.MinVersion > version {
+		version = req.MinVersion
+	}
+	s.version.Store(version)
 	snap := &partSnapshot{
-		version: s.version.Add(1),
+		version: version,
 		entries: entries,
 		byKey:   make(map[string]int, len(entries)),
 		pool:    make([]bool, len(entries)),

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gcbench/internal/corpus"
+)
+
+// The shard wire protocol is deliberately minimal: each ShardClient
+// method maps to one POST endpoint carrying the method's JSON-tagged
+// request struct and returning its response struct — exactly the
+// shapes PR 8 gave the interface so this transport could be dropped in
+// without touching the coordinator.
+//
+//	POST /rpc/info     InfoRequest    → InfoResponse
+//	POST /rpc/get      GetRequest     → GetResponse
+//	POST /rpc/select   SelectRequest  → SelectResponse
+//	POST /rpc/publish  PublishRequest → PublishResponse
+//	GET  /healthz      liveness probe (200 whenever the process serves)
+//
+// Application errors (e.g. "no snapshot published" on a freshly
+// restarted, not-yet-rehydrated replica) return 500 with a JSON
+// {"error": ...} body; the client surfaces them verbatim and does not
+// retry — retry is reserved for transport faults, where the request
+// may never have reached the shard.
+
+// rpcError is the wire error envelope.
+type rpcError struct {
+	Error string `json:"error"`
+}
+
+// RPCHandler exposes client over the shard wire protocol. One handler
+// serves one shard replica; a process typically wraps it in its own
+// http.Server (see `gcbench shard-serve`).
+func RPCHandler(client ShardClient) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	rpcRoute(mux, "info", client.Info)
+	rpcRoute(mux, "get", client.Get)
+	rpcRoute(mux, "select", client.Select)
+	rpcRoute(mux, "publish", client.Publish)
+	return mux
+}
+
+// rpcRoute registers one method endpoint: decode the request struct,
+// invoke the method with the request's context, encode the response.
+func rpcRoute[Req, Resp any](mux *http.ServeMux, name string, call func(context.Context, Req) (Resp, error)) {
+	mux.HandleFunc("POST /rpc/"+name, func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&req); err != nil {
+			writeRPC(w, http.StatusBadRequest, rpcError{Error: fmt.Sprintf("decoding %s request: %v", name, err)})
+			return
+		}
+		resp, err := call(r.Context(), req)
+		if err != nil {
+			writeRPC(w, http.StatusInternalServerError, rpcError{Error: err.Error()})
+			return
+		}
+		writeRPC(w, http.StatusOK, resp)
+	})
+}
+
+func writeRPC(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// NewProcessShard returns the ShardClient a standalone shard process
+// serves: a single replica of shard id, classifying ensemble-pool
+// membership identically to the coordinator. The process is one
+// replica endpoint; the coordinator's ReplicaSet is the replica
+// fan-out, so R replicas of a shard are R of these processes.
+func NewProcessShard(id int) *LocalShard {
+	return NewLocalShard(id, 1, corpus.PoolMember)
+}
