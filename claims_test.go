@@ -1,6 +1,7 @@
 package gcbench_test
 
 import (
+	"context"
 	"math"
 	"os"
 	"testing"
@@ -264,5 +265,39 @@ func TestClaimThousandFoldVariation(t *testing.T) {
 		if r := ratio(d); r < 10 {
 			t.Fatalf("dimension %d variation %.0fx below 10x", d, r)
 		}
+	}
+}
+
+// Claim (§2/§3): behavior characterizes the (computation, execution
+// model) pair, not the computation alone — the same CC on the same graph
+// lands at different behavior-space points under GAS and Pregel, while
+// the computed result (number of components) is conserved across models.
+func TestClaimBehaviorIsModelSpecific(t *testing.T) {
+	g, err := gcbench.PowerLaw(gcbench.PowerLawConfig{NumEdges: 4000, Alpha: 2.2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gcbench.ModelWorkload{Graph: g}
+	vectors := map[gcbench.ModelName]gcbench.Vector{}
+	components := map[gcbench.ModelName]float64{}
+	for _, n := range []gcbench.ModelName{gcbench.ModelGAS, gcbench.ModelPregel} {
+		m, err := gcbench.ModelForName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(context.Background(), w, "CC", gcbench.ModelOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		vectors[n] = gcbench.BehaviorFromTrace(res.Trace)
+		components[n] = res.Summary["components"]
+	}
+	if components[gcbench.ModelGAS] != components[gcbench.ModelPregel] {
+		t.Fatalf("CC components differ across models: GAS %v, Pregel %v",
+			components[gcbench.ModelGAS], components[gcbench.ModelPregel])
+	}
+	if vectors[gcbench.ModelGAS] == vectors[gcbench.ModelPregel] {
+		t.Fatalf("GAS and Pregel behavior vectors identical (%v); the model axis adds no information",
+			vectors[gcbench.ModelGAS])
 	}
 }

@@ -43,16 +43,16 @@ func cmdLoadtest(args []string) error {
 	fs.Parse(args)
 	vb.setup()
 
-	var behaviorKeys []string
+	var behaviorKeys, models []string
 	if *keys != "" {
 		behaviorKeys = strings.Split(*keys, ",")
 	} else {
 		var err error
-		if behaviorKeys, err = discoverKeys(*url, *timeout); err != nil {
+		if behaviorKeys, models, err = discoverKeys(*url, *timeout); err != nil {
 			return fmt.Errorf("discovering corpus keys (pass -keys to skip): %w", err)
 		}
 	}
-	mix := gcbench.ServeLoadMix(behaviorKeys)
+	mix := gcbench.ServeLoadMixModels(behaviorKeys, models)
 	if *campaigns {
 		mix = append(mix, gcbench.LoadTestOp{
 			Name: "campaign", Weight: 1, Method: http.MethodPost,
@@ -92,36 +92,50 @@ func cmdLoadtest(args []string) error {
 	return rep.Check(gates, !*allow5xx)
 }
 
-// discoverKeys pulls a spread of record keys from the live corpus so the
-// behavior op exercises real routes without the caller naming any.
-func discoverKeys(base string, timeout time.Duration) ([]string, error) {
+// discoverKeys pulls a spread of record keys — and the distinct
+// execution models — from the live corpus so the behavior op exercises
+// real routes and the runs op covers the target's model axis without
+// the caller naming anything.
+func discoverKeys(base string, timeout time.Duration) (keys, models []string, err error) {
 	client := &http.Client{Timeout: timeout}
 	resp, err := client.Get(strings.TrimRight(base, "/") + "/api/runs")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/api/runs returned %s", resp.Status)
+		return nil, nil, fmt.Errorf("/api/runs returned %s", resp.Status)
 	}
 	var body struct {
 		Runs []struct {
-			Key string `json:"key"`
+			Key   string `json:"key"`
+			Model string `json:"model"`
 		} `json:"runs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(body.Runs) == 0 {
-		return nil, fmt.Errorf("corpus is empty")
+		return nil, nil, fmt.Errorf("corpus is empty")
 	}
 	// Up to four keys spread across the corpus.
-	var keys []string
 	step := max(1, len(body.Runs)/4)
 	for i := 0; i < len(body.Runs) && len(keys) < 4; i += step {
 		keys = append(keys, body.Runs[i].Key)
 	}
-	return keys, nil
+	seen := map[string]bool{}
+	for _, r := range body.Runs {
+		m := r.Model
+		if m == "" {
+			m = string(gcbench.ModelGAS)
+		}
+		if !seen[m] {
+			seen[m] = true
+			models = append(models, m)
+		}
+	}
+	sort.Strings(models)
+	return keys, models, nil
 }
 
 // printLoadReport renders the per-route table, slowest p99 first.

@@ -5,7 +5,9 @@
 //	gcbench sweep   -resume runs.json.journal            # finish an interrupted campaign
 //	gcbench sweep   -timeout 90s -retries 2              # per-run budget + bounded retry
 //	gcbench sweep   -listen :9090                        # live /metrics /statusz /healthz /debug/pprof
+//	gcbench sweep   -models gas,pregel,xstream,graphcentric # multi-model campaign (or -models all)
 //	gcbench run     -alg PR [-edges 100000] [-alpha 2.5] # one instrumented computation
+//	gcbench run     -alg PR -model pregel                # same computation under another execution model
 //	gcbench run     -alg PR -tracefile pr.trace.json     # + Chrome trace-event phase spans
 //	gcbench figures [-runs runs.json] [-fig all|N|tableN] # regenerate figures/tables
 //	gcbench ensemble [-runs runs.json] [-size 10]        # best spread/coverage ensembles
@@ -120,6 +122,8 @@ func cmdSweep(args []string) error {
 	faultRate := fs.Float64("faultrate", 0, "deterministic fault-injection rate in [0,1] (testing only)")
 	faultSeed := fs.Uint64("faultseed", 1, "seed for -faultrate injection")
 	frontierFlag := fs.String("frontier", "auto", "engine frontier schedule: auto | dense | sparse (behavior metrics are identical across modes)")
+	modelsFlag := fs.String("models", "", "comma-separated execution models to sweep: gas, pregel, xstream, graphcentric (empty = gas only; each model covers the algorithms it implements)")
+	algsFlag := fs.String("algs", "", "comma-separated algorithm restriction, e.g. PR,CC,SSSP (empty = full plan)")
 	fs.Parse(args)
 	vb.setup()
 	quiet := vb.quiet
@@ -129,9 +133,33 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
-	specs, err := gcbench.BuildPlan(gcbench.Profile(*profile), *seed)
+	models, err := parseModelList(*modelsFlag)
 	if err != nil {
 		return err
+	}
+	specs, err := gcbench.BuildPlanModels(gcbench.Profile(*profile), *seed, models)
+	if err != nil {
+		return err
+	}
+	if *algsFlag != "" {
+		keep := map[gcbench.AlgorithmName]bool{}
+		for _, a := range strings.Split(*algsFlag, ",") {
+			name, err := gcbench.ParseAlgorithm(strings.TrimSpace(a))
+			if err != nil {
+				return err
+			}
+			keep[name] = true
+		}
+		filtered := specs[:0]
+		for _, s := range specs {
+			if keep[s.Algorithm] {
+				filtered = append(filtered, s)
+			}
+		}
+		specs = filtered
+		if len(specs) == 0 {
+			return fmt.Errorf("no campaign specs match -algs %s (with models %v)", *algsFlag, *modelsFlag)
+		}
 	}
 
 	// The journal defaults next to the corpus. A fresh sweep truncates any
@@ -265,6 +293,7 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "graph seed")
 	tracefile := fs.String("tracefile", "", "write the run's phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 	frontierFlag := fs.String("frontier", "auto", "engine frontier schedule: auto | dense | sparse (behavior metrics are identical across modes)")
+	modelFlag := fs.String("model", "gas", "execution model: gas | pregel | xstream | graphcentric")
 	vb := verbosityFlags(fs)
 	fs.Parse(args)
 	vb.setup()
@@ -277,7 +306,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	mname, err := gcbench.ParseModel(*modelFlag)
+	if err != nil {
+		return err
+	}
 	spec := gcbench.Spec{Algorithm: name, Seed: *seed}
+	if mname != gcbench.ModelGAS {
+		impl, err := gcbench.ModelForName(mname)
+		if err != nil {
+			return err
+		}
+		if !impl.Supports(name) {
+			return fmt.Errorf("model %s does not implement algorithm %s (models implementing it: %v)",
+				mname, name, gcbench.ModelsSupporting(name))
+		}
+		spec.Model = mname
+	}
 	switch strings.ToUpper(*alg) {
 	case "JACOBI", "LBP":
 		spec.NumRows = *rows
@@ -488,6 +532,31 @@ func cmdPredict(args []string) error {
 			100*errs[0], 100*errs[1], 100*errs[2], 100*errs[3])
 	}
 	return nil
+}
+
+// parseModelList resolves a comma-separated -models flag value; "all"
+// expands to every execution model.
+func parseModelList(s string) ([]gcbench.ModelName, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var models []gcbench.ModelName
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.EqualFold(part, "all") {
+			models = append(models, gcbench.AllModels()...)
+			continue
+		}
+		n, err := gcbench.ParseModel(part)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, n)
+	}
+	return models, nil
 }
 
 func spreadOf(pool []gcbench.Vector, idx []int) float64 {

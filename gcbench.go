@@ -32,6 +32,7 @@ import (
 	"gcbench/internal/graph"
 	"gcbench/internal/jobs"
 	"gcbench/internal/loadtest"
+	"gcbench/internal/model"
 	"gcbench/internal/nnindex"
 	"gcbench/internal/obs"
 	"gcbench/internal/obs/otrace"
@@ -170,6 +171,50 @@ var (
 	ParseAlgorithm = algorithms.Parse
 )
 
+// --- Execution models ---
+
+// ModelName identifies one of the execution models a campaign spec can
+// run under: "gas" (the default synchronous Gather-Apply-Scatter
+// engine), "pregel" (vertex-centric message passing), "xstream"
+// (edge-streaming scatter-gather) or "graphcentric" (partition-local
+// fixed points with boundary exchange). Every model populates the same
+// per-iteration trace counters, so the §5 behavior space compares them
+// directly.
+type ModelName = model.Name
+
+// Execution model names.
+const (
+	ModelGAS          = model.GAS
+	ModelPregel       = model.Pregel
+	ModelXStream      = model.XStream
+	ModelGraphCentric = model.GraphCentric
+)
+
+// ExecutionModel is the engine-agnostic execution interface every model
+// implements: report which algorithms it supports and run one of them
+// over a prepared workload, returning the behavior trace and summary.
+type ExecutionModel = model.Model
+
+// ModelOptions configures an ExecutionModel run.
+type ModelOptions = model.Options
+
+// ModelWorkload bundles the prepared inputs an ExecutionModel runs on.
+type ModelWorkload = model.Workload
+
+// ModelResult is an ExecutionModel run's trace and summary statistics.
+type ModelResult = model.Result
+
+// Execution-model helpers. ParseModel resolves a case-insensitive
+// -model flag value ("" = gas); ForName returns the named model's
+// implementation.
+var (
+	AllModels        = model.AllNames
+	ParseModel       = model.Parse
+	ModelForName     = model.ForName
+	ModelSupported   = model.Supported
+	ModelsSupporting = model.Supporting
+)
+
 // --- Behavior space (§5.1) ---
 
 // Vector is a point in the 4-D behavior space <UPDT, WORK, EREAD, MSG>.
@@ -182,9 +227,11 @@ type Run = behavior.Run
 type Space = behavior.Space
 
 // NewSpace normalizes a run collection; Distance is the space's metric.
+// BehaviorFromTrace reduces an execution trace to its behavior vector.
 var (
-	NewSpace = behavior.NewSpace
-	Distance = behavior.Distance
+	NewSpace          = behavior.NewSpace
+	Distance          = behavior.Distance
+	BehaviorFromTrace = behavior.FromTrace
 )
 
 // --- Sweeps (Table 2 campaigns) ---
@@ -239,16 +286,17 @@ const (
 // ensemble's workload files (edge lists, UAI MRFs) so the suite can be
 // carried to any graph-processing system.
 var (
-	BuildPlan     = sweep.BuildPlan
-	Sweep         = sweep.Execute
-	SweepContext  = sweep.ExecuteContext
-	SweepCampaign = sweep.ExecuteCampaign
-	OpenJournal   = sweep.OpenJournal
-	LoadJournal   = sweep.LoadJournal
-	FaultRate     = sweep.FaultRate
-	SaveRuns      = sweep.SaveRunsFile
-	LoadRuns      = sweep.LoadRunsFile
-	ExportSuite   = sweep.ExportSuite
+	BuildPlan       = sweep.BuildPlan
+	BuildPlanModels = sweep.BuildPlanModels
+	Sweep           = sweep.Execute
+	SweepContext    = sweep.ExecuteContext
+	SweepCampaign   = sweep.ExecuteCampaign
+	OpenJournal     = sweep.OpenJournal
+	LoadJournal     = sweep.LoadJournal
+	FaultRate       = sweep.FaultRate
+	SaveRuns        = sweep.SaveRunsFile
+	LoadRuns        = sweep.LoadRunsFile
+	ExportSuite     = sweep.ExportSuite
 )
 
 // --- Observability ---
@@ -492,8 +540,9 @@ type LoadTestGate = loadtest.Gate
 // Load-test entry points. ServeLoadMix is the default mixed-traffic
 // profile against a `gcbench serve` deployment.
 var (
-	RunLoadTest  = loadtest.Run
-	ServeLoadMix = loadtest.ServeMix
+	RunLoadTest        = loadtest.Run
+	ServeLoadMix       = loadtest.ServeMix
+	ServeLoadMixModels = loadtest.ServeMixModels
 )
 
 // --- Async campaign jobs ---

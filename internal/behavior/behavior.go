@@ -63,11 +63,46 @@ const (
 	StatusSkipped RunStatus = "skipped"
 )
 
+// ModelGAS is the effective execution model of runs that carry no model
+// tag: everything measured before the model axis existed ran on the GAS
+// engine.
+const ModelGAS = "gas"
+
+// EffectiveModel maps a run's stored model tag to its effective
+// execution model: the empty string (pre-model-axis runs) is GAS.
+func EffectiveModel(s string) string {
+	if s == "" {
+		return ModelGAS
+	}
+	return s
+}
+
 // Run is one graph computation: the <algorithm, graph size, degree
-// distribution> tuple of §5.1 plus its measured raw behavior.
+// distribution> tuple of §5.1 plus its measured raw behavior, tagged
+// with the execution model that produced it.
 type Run struct {
 	// Algorithm is the paper abbreviation (CC, KC, …).
 	Algorithm string `json:"algorithm"`
+	// Model is the execution model that ran the computation, empty for
+	// the default GAS engine (so pre-model-axis corpora are unchanged on
+	// disk and GAS runs keep encoding byte-identically).
+	//
+	// Every model reports the same per-iteration trace vocabulary, so
+	// the four behavior dimensions always exist; what each counts is
+	// model-specific (§3.3: the behavior is conserved, the mechanism
+	// differs):
+	//
+	//	model        | UPDT                  | EREAD                    | MSG                       | WORK
+	//	-------------|-----------------------|--------------------------|---------------------------|--------------------
+	//	gas          | apply invocations     | gather/scatter traversals| scatter signals           | apply time
+	//	pregel       | Compute invocations   | per-edge message sends   | messages sent (combined)  | Compute time
+	//	xstream      | apply-phase folds     | streamed edges scanned   | updates emitted to targets| apply time
+	//	graphcentric | state improvements    | propagations evaluated   | boundary crossings        | partition drain time
+	//
+	// The cross-model invariance suite (internal/model tests) pins this
+	// mapping; the claims tests assert the resulting behavior-space
+	// separation.
+	Model string `json:"model,omitempty"`
 	// Domain is the application domain.
 	Domain string `json:"domain"`
 	// NumEdges is the graph scale parameter (Table 2's nedges, or nrows
@@ -91,12 +126,20 @@ type Run struct {
 	Raw Vector `json:"raw"`
 }
 
-// ID renders the run's identifying tuple.
+// ID renders the run's identifying tuple. Non-GAS runs append their
+// execution model so the same computation under two models never shares
+// an ID; GAS runs render exactly as before the model axis existed.
 func (r *Run) ID() string {
+	var id string
 	if r.Alpha == 0 {
-		return fmt.Sprintf("<%s, %s>", r.Algorithm, r.SizeLabel)
+		id = fmt.Sprintf("<%s, %s>", r.Algorithm, r.SizeLabel)
+	} else {
+		id = fmt.Sprintf("<%s, %s, %.2f>", r.Algorithm, r.SizeLabel, r.Alpha)
 	}
-	return fmt.Sprintf("<%s, %s, %.2f>", r.Algorithm, r.SizeLabel, r.Alpha)
+	if m := EffectiveModel(r.Model); m != ModelGAS {
+		id = id[:len(id)-1] + ", " + m + ">"
+	}
+	return id
 }
 
 // FromTrace extracts the raw per-edge behavior vector from a run trace.

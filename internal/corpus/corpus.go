@@ -45,6 +45,10 @@ type Record struct {
 	Algorithm string
 	SizeLabel string
 	Alpha     float64
+	// Model is the execution model tag, empty for GAS (the pre-model-axis
+	// encoding, so old corpora rebuild byte-identical keys and wire
+	// payloads).
+	Model string `json:",omitempty"`
 }
 
 // Snapshot is one immutable, fully indexed corpus version.
@@ -75,24 +79,40 @@ type Snapshot struct {
 	byAlg    map[string][]int
 	bySize   map[string][]int
 	byStatus map[behavior.RunStatus][]int
+	// byModel indexes records by effective execution model ("" → "gas").
+	byModel map[string][]int
 
 	predOnce sync.Once
 	pred     *predict.Predictor
 	predErr  error
+
+	// predBy holds the per-model predictors, built lazily like pred.
+	predMu sync.Mutex
+	predBy map[string]*modelPredictor
+}
+
+// modelPredictor is one lazily built per-model predictor.
+type modelPredictor struct {
+	p   *predict.Predictor
+	err error
 }
 
 // Filter selects records. Empty slices mean "no restriction on this
-// dimension"; alphas match within a 1e-9 tolerance.
+// dimension"; alphas match within a 1e-9 tolerance; model names match by
+// effective model, so "gas" selects both tagged and pre-model-axis
+// (untagged) records.
 type Filter struct {
 	Algorithms []string
 	Sizes      []string
 	Alphas     []float64
 	Statuses   []behavior.RunStatus
+	Models     []string `json:",omitempty"`
 }
 
 // zero reports whether the filter is unrestricted.
 func (f Filter) zero() bool {
-	return len(f.Algorithms) == 0 && len(f.Sizes) == 0 && len(f.Alphas) == 0 && len(f.Statuses) == 0
+	return len(f.Algorithms) == 0 && len(f.Sizes) == 0 && len(f.Alphas) == 0 &&
+		len(f.Statuses) == 0 && len(f.Models) == 0
 }
 
 // alphaMatch reports whether a is in the filter's alpha set.
@@ -115,6 +135,18 @@ func KeyOf(algorithm, sizeLabel string, alpha float64) string {
 	return fmt.Sprintf("%s_%s_a%s", algorithm, sizeLabel, strconv.FormatFloat(alpha, 'g', -1, 64))
 }
 
+// KeyOfModel renders the record key for a model-tagged tuple: non-GAS
+// records get a model suffix (e.g. "PR_1e5_a2.5_pregel"), so identical
+// specs under two execution models never collide, while GAS records keep
+// their pre-model-axis keys byte-identical.
+func KeyOfModel(model, algorithm, sizeLabel string, alpha float64) string {
+	key := KeyOf(algorithm, sizeLabel, alpha)
+	if m := behavior.EffectiveModel(model); m != behavior.ModelGAS {
+		key += "_" + m
+	}
+	return key
+}
+
 // NewSnapshotFromRuns builds a snapshot from a measured run collection
 // (every record has status ok).
 func NewSnapshotFromRuns(runs []*behavior.Run, source string) (*Snapshot, error) {
@@ -122,7 +154,7 @@ func NewSnapshotFromRuns(runs []*behavior.Run, source string) (*Snapshot, error)
 	for _, r := range runs {
 		records = append(records, Record{
 			Run: r, Status: behavior.StatusOK,
-			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha,
+			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha, Model: r.Model,
 		})
 	}
 	return newSnapshot(records, source)
@@ -137,6 +169,7 @@ func NewSnapshotFromJournal(entries []sweep.JournalEntry, source string) (*Snaps
 		rec := Record{
 			Run: e.Run, Status: e.Status, Err: e.Err,
 			Algorithm: string(e.Spec.Algorithm), SizeLabel: e.Spec.SizeLabel, Alpha: e.Spec.Alpha,
+			Model: string(e.Spec.Model),
 		}
 		// A resumed-campaign journal marks restored runs "skipped"; for
 		// serving they are measurements like any other.
@@ -147,6 +180,7 @@ func NewSnapshotFromJournal(entries []sweep.JournalEntry, source string) (*Snaps
 			rec.Algorithm = rec.Run.Algorithm
 			rec.SizeLabel = rec.Run.SizeLabel
 			rec.Alpha = rec.Run.Alpha
+			rec.Model = rec.Run.Model
 		}
 		records = append(records, rec)
 	}
@@ -207,6 +241,7 @@ func newSnapshot(records []Record, source string) (*Snapshot, error) {
 		byAlg:    map[string][]int{},
 		bySize:   map[string][]int{},
 		byStatus: map[behavior.RunStatus][]int{},
+		byModel:  map[string][]int{},
 	}
 	varying := make(map[string]bool, len(report.GraphVaryingAlgorithms))
 	for _, a := range report.GraphVaryingAlgorithms {
@@ -215,18 +250,19 @@ func newSnapshot(records []Record, source string) (*Snapshot, error) {
 	var okRuns, poolRuns []*behavior.Run
 	for i := range s.Records {
 		rec := &s.Records[i]
-		key := KeyOf(rec.Algorithm, rec.SizeLabel, rec.Alpha)
+		key := KeyOfModel(rec.Model, rec.Algorithm, rec.SizeLabel, rec.Alpha)
 		for n := 2; ; n++ {
 			if _, taken := s.byKey[key]; !taken {
 				break
 			}
-			key = fmt.Sprintf("%s_%d", KeyOf(rec.Algorithm, rec.SizeLabel, rec.Alpha), n)
+			key = fmt.Sprintf("%s_%d", KeyOfModel(rec.Model, rec.Algorithm, rec.SizeLabel, rec.Alpha), n)
 		}
 		rec.Key = key
 		s.byKey[key] = i
 		s.byAlg[rec.Algorithm] = append(s.byAlg[rec.Algorithm], i)
 		s.bySize[rec.SizeLabel] = append(s.bySize[rec.SizeLabel], i)
 		s.byStatus[rec.Status] = append(s.byStatus[rec.Status], i)
+		s.byModel[behavior.EffectiveModel(rec.Model)] = append(s.byModel[behavior.EffectiveModel(rec.Model)], i)
 		if rec.Status == behavior.StatusOK && rec.Run != nil {
 			okRuns = append(okRuns, rec.Run)
 			s.spaceRec = append(s.spaceRec, i)
@@ -308,6 +344,13 @@ func (s *Snapshot) Select(f Filter) []int {
 		}
 		consider(narrow(lists))
 	}
+	if len(f.Models) > 0 {
+		lists := make([][]int, 0, len(f.Models))
+		for _, m := range f.Models {
+			lists = append(lists, s.byModel[behavior.EffectiveModel(m)])
+		}
+		consider(narrow(lists))
+	}
 	if candidates == nil {
 		// Only an alpha restriction: scan.
 		candidates = make([]int, len(s.Records))
@@ -346,6 +389,19 @@ func (f Filter) Matches(rec *Record) bool {
 		found := false
 		for _, st := range f.Statuses {
 			if st == rec.Status {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(f.Models) > 0 {
+		m := behavior.EffectiveModel(rec.Model)
+		found := false
+		for _, v := range f.Models {
+			if behavior.EffectiveModel(v) == m {
 				found = true
 				break
 			}
@@ -438,6 +494,51 @@ func (s *Snapshot) Predictor() (*predict.Predictor, error) {
 	return s.pred, s.predErr
 }
 
+// PredictorFor returns a predictor restricted to the measured runs of
+// one execution model (empty or "gas" selects tagged-gas and untagged
+// runs alike), built once per model on first use. Prediction stays
+// within-model: the same computation traverses different event counts
+// under different engines, so mixing models in one nearest-neighbor
+// index would interpolate across incomparable points.
+func (s *Snapshot) PredictorFor(model string) (*predict.Predictor, error) {
+	m := behavior.EffectiveModel(model)
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	if s.predBy == nil {
+		s.predBy = map[string]*modelPredictor{}
+	}
+	e, ok := s.predBy[m]
+	if !ok {
+		e = &modelPredictor{}
+		var runs []*behavior.Run
+		if s.Space != nil {
+			for _, r := range s.Space.Runs {
+				if behavior.EffectiveModel(r.Model) == m {
+					runs = append(runs, r)
+				}
+			}
+		}
+		if len(runs) == 0 {
+			e.err = fmt.Errorf("corpus: no measured %s runs to predict from", m)
+		} else {
+			e.p, e.err = predict.New(runs)
+		}
+		s.predBy[m] = e
+	}
+	return e.p, e.err
+}
+
+// Models returns the distinct effective execution models present in the
+// snapshot, sorted ("gas" covers untagged pre-model-axis records).
+func (s *Snapshot) Models() []string {
+	out := make([]string, 0, len(s.byModel))
+	for m := range s.byModel {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Store publishes corpus snapshots to concurrent readers with atomic
 // swap semantics. The zero value is not usable; construct with NewStore.
 type Store struct {
@@ -513,7 +614,7 @@ func (st *Store) Append(runs []*behavior.Run, from string) (*Snapshot, error) {
 	for _, r := range runs {
 		records = append(records, Record{
 			Run: r, Status: behavior.StatusOK,
-			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha,
+			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha, Model: r.Model,
 		})
 	}
 	source := cur.Source

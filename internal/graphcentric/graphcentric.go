@@ -17,6 +17,7 @@
 package graphcentric
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,6 +49,9 @@ type Options struct {
 	Partitions int
 	// MaxSupersteps caps the run (0 means 100000).
 	MaxSupersteps int
+	// Context, when non-nil, cancels the run cooperatively at the next
+	// superstep barrier; Run returns an error wrapping ctx.Err().
+	Context context.Context
 }
 
 // Result carries the per-superstep trace and final states. Trace fields
@@ -100,6 +104,11 @@ func Run[S any](g *graph.Graph, p Program[S], opt Options) (*Result[S], error) {
 		if activeCount == 0 {
 			tr.Converged = true
 			break
+		}
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("graphcentric: run stopped at superstep %d: %w", step, err)
+			}
 		}
 		start := time.Now()
 		var reads, updates, messages int64

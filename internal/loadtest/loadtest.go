@@ -415,12 +415,30 @@ func (r *Report) WriteFile(path string) error {
 // and canonical-best traffic. behaviorKeys parameterizes the
 // single-record reads (pass a few real corpus keys).
 func ServeMix(behaviorKeys []string) []Op {
+	return ServeMixModels(behaviorKeys, nil)
+}
+
+// ServeMixModels is ServeMix with the execution-model dimension: every
+// model in models (the distinct model tags the target corpus actually
+// holds — discover them from /api/runs) contributes a model-filtered
+// /api/runs path, so a multi-model deployment is exercised along its
+// model axis without guessing at filters that would 4xx or return
+// empty. Empty models is exactly ServeMix.
+func ServeMixModels(behaviorKeys, models []string) []Op {
 	behaviorPaths := make([]string, 0, len(behaviorKeys))
 	for _, k := range behaviorKeys {
 		behaviorPaths = append(behaviorPaths, "/api/behavior/"+k)
 	}
 	if len(behaviorPaths) == 0 {
 		behaviorPaths = []string{"/api/behavior/unknown"}
+	}
+	runsPaths := []string{
+		"/api/runs?algorithm=PR",
+		"/api/runs?algorithm=CC,KC&size=1e5",
+		"/api/runs?status=ok",
+	}
+	for _, m := range models {
+		runsPaths = append(runsPaths, "/api/runs?model="+m)
 	}
 	return []Op{
 		{Name: "predict", Weight: 5, Paths: []string{
@@ -429,11 +447,7 @@ func ServeMix(behaviorKeys []string) []Op {
 			"/api/predict?algorithm=CC&edges=800000&alpha=2.3",
 			"/api/predict?algorithm=SSSP&edges=250000&alpha=2.0",
 		}},
-		{Name: "runs", Weight: 2, Paths: []string{
-			"/api/runs?algorithm=PR",
-			"/api/runs?algorithm=CC,KC&size=1e5",
-			"/api/runs?status=ok",
-		}},
+		{Name: "runs", Weight: 2, Paths: runsPaths},
 		{Name: "behavior", Weight: 2, Paths: behaviorPaths},
 		{Name: "design", Weight: 1, Method: http.MethodPost,
 			Paths: []string{"/api/ensemble/design"}, Body: `{"n":4}`},

@@ -208,3 +208,30 @@ func TestServeMixShape(t *testing.T) {
 		}
 	}
 }
+
+// TestServeMixModels: discovered model dimensions widen the runs op with
+// per-model filter paths; without models the mix is ServeMix exactly.
+func TestServeMixModels(t *testing.T) {
+	base := ServeMix([]string{"PR_1e5_a2.5"})
+	plain := ServeMixModels([]string{"PR_1e5_a2.5"}, nil)
+	if len(plain) != len(base) {
+		t.Fatalf("nil models changed the mix: %d ops vs %d", len(plain), len(base))
+	}
+	mix := ServeMixModels([]string{"PR_1e5_a2.5"}, []string{"gas", "pregel"})
+	found := map[string]bool{}
+	for _, op := range mix {
+		if op.Name != "runs" {
+			continue
+		}
+		for _, p := range op.Paths {
+			if strings.HasPrefix(p, "/api/runs?model=") {
+				found[strings.TrimPrefix(p, "/api/runs?model=")] = true
+			}
+		}
+	}
+	for _, m := range []string{"gas", "pregel"} {
+		if !found[m] {
+			t.Errorf("runs op lacks a model=%s path (got %v)", m, found)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"context"
+	"math"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/graphcentric"
+)
+
+// graphCentricModel runs the "think like a graph" engine
+// (internal/graphcentric): partition-local fixed points between global
+// barriers. Metric mapping: UPDT = state improvements applied, EREAD =
+// propagations evaluated, MSG = boundary propagations that crossed
+// partitions (zero under a single partition), WORK = superstep drain
+// time. It covers the monotone propagation family only.
+type graphCentricModel struct{}
+
+func (graphCentricModel) Name() Name { return GraphCentric }
+
+func (graphCentricModel) Supports(alg algorithms.Name) bool {
+	switch alg {
+	case algorithms.CC, algorithms.SSSP:
+		return true
+	}
+	return false
+}
+
+func (graphCentricModel) Run(ctx context.Context, w Workload, alg algorithms.Name, opt Options) (*Result, error) {
+	g, err := needGraph(GraphCentric, w)
+	if err != nil {
+		return nil, err
+	}
+	gopt := graphcentric.Options{
+		MaxSupersteps: opt.MaxIterations,
+		Context:       runContext(ctx, opt),
+	}
+	switch alg {
+	case algorithms.CC:
+		res, err := graphcentric.Run[uint32](g, graphcentric.CCProgram{}, gopt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trace: res.Trace, Summary: componentsSummary(res.States)}, nil
+	case algorithms.SSSP:
+		src := MaxDegreeVertex(g)
+		p := graphcentric.SSSPProgram{Source: src, Inf: math.Inf(1)}
+		res, err := graphcentric.Run[float64](g, p, gopt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trace: res.Trace, Summary: distanceSummary(res.States)}, nil
+	}
+	return nil, unsupported(GraphCentric, alg)
+}

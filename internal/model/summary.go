@@ -1,0 +1,46 @@
+package model
+
+import "math"
+
+// Summary builders shared by the non-GAS adapters. Each mirrors the
+// Summary map the corresponding GAS algorithm reports, so cross-model
+// result equivalence can be asserted on the same keys.
+
+// componentsSummary mirrors ConnectedComponents: "components".
+func componentsSummary(labels []uint32) map[string]float64 {
+	distinct := make(map[uint32]struct{}, len(labels))
+	for _, l := range labels {
+		distinct[l] = struct{}{}
+	}
+	return map[string]float64{"components": float64(len(distinct))}
+}
+
+// distanceSummary mirrors SingleSourceShortestPath: "reached" and
+// "maxDistance" over the finite distances.
+func distanceSummary(dist []float64) map[string]float64 {
+	reached, maxDist := 0, 0.0
+	for _, d := range dist {
+		if !math.IsInf(d, 1) {
+			reached++
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return map[string]float64{
+		"reached":     float64(reached),
+		"maxDistance": maxDist,
+	}
+}
+
+// rankSummary mirrors PageRank: "maxRank" and "sumRank".
+func rankSummary(ranks []float64) map[string]float64 {
+	maxRank, sum := 0.0, 0.0
+	for _, r := range ranks {
+		sum += r
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	return map[string]float64{"maxRank": maxRank, "sumRank": sum}
+}

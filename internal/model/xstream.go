@@ -1,0 +1,70 @@
+package model
+
+import (
+	"context"
+
+	"gcbench/internal/algorithms"
+	"gcbench/internal/xstream"
+)
+
+// xstreamPRTolerance is the delta threshold below which a vertex stops
+// re-propagating rank increments — the edge-centric analogue of the GAS
+// PageRank stability tolerance (default 1e-3). It is tighter because a
+// delta-PR increment bounds the *remaining* mass a vertex will ever
+// forward, not its final rank error.
+const xstreamPRTolerance = 1e-6
+
+// xstreamModel runs the edge-centric streaming engine (internal/xstream).
+// Metric mapping: EREAD = streamed edges scanned from active sources (the
+// whole edge list passes per iteration), MSG = updates emitted toward
+// targets, UPDT = apply-phase folds, WORK = apply time.
+type xstreamModel struct{}
+
+func (xstreamModel) Name() Name { return XStream }
+
+func (xstreamModel) Supports(alg algorithms.Name) bool {
+	switch alg {
+	case algorithms.CC, algorithms.SSSP, algorithms.PR:
+		return true
+	}
+	return false
+}
+
+func (xstreamModel) Run(ctx context.Context, w Workload, alg algorithms.Name, opt Options) (*Result, error) {
+	g, err := needGraph(XStream, w)
+	if err != nil {
+		return nil, err
+	}
+	xopt := xstream.Options{
+		MaxIterations: opt.MaxIterations,
+		Workers:       opt.Workers,
+		Context:       runContext(ctx, opt),
+	}
+	switch alg {
+	case algorithms.CC:
+		res, err := xstream.Run[uint32, uint32](g, xstream.CCProgram{}, xopt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trace: res.Trace, Summary: componentsSummary(res.States)}, nil
+	case algorithms.SSSP:
+		src := MaxDegreeVertex(g)
+		res, err := xstream.Run[float64, float64](g, xstream.SSSPProgram{Source: src}, xopt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trace: res.Trace, Summary: distanceSummary(res.States)}, nil
+	case algorithms.PR:
+		p := xstream.PRProgram{G: g, Damping: 0.85, Tolerance: xstreamPRTolerance}
+		res, err := xstream.Run[xstream.PRState, float64](g, p, xopt)
+		if err != nil {
+			return nil, err
+		}
+		ranks := make([]float64, len(res.States))
+		for i, s := range res.States {
+			ranks[i] = s.Rank
+		}
+		return &Result{Trace: res.Trace, Summary: rankSummary(ranks)}, nil
+	}
+	return nil, unsupported(XStream, alg)
+}

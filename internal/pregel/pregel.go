@@ -15,6 +15,7 @@
 package pregel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -90,6 +91,9 @@ type Options struct {
 	MaxSupersteps int
 	// Workers is the compute parallelism (0 means GOMAXPROCS).
 	Workers int
+	// Context, when non-nil, cancels the run cooperatively at the next
+	// superstep barrier; Run returns an error wrapping ctx.Err().
+	Context context.Context
 }
 
 // Result carries the trace and final states.
@@ -145,6 +149,11 @@ func Run[S, M any](g *graph.Graph, p Program[S, M], opt Options) (*Result[S], er
 		if activeCount == 0 {
 			tr.Converged = true
 			break
+		}
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("pregel: run stopped at superstep %d: %w", step, err)
+			}
 		}
 		start := time.Now()
 

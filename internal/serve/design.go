@@ -16,6 +16,7 @@ import (
 	"gcbench/internal/behavior"
 	"gcbench/internal/corpus"
 	"gcbench/internal/ensemble"
+	"gcbench/internal/model"
 	"gcbench/internal/obs/otrace"
 )
 
@@ -47,11 +48,13 @@ type designRequest struct {
 	Steps int `json:"steps"`
 }
 
-// designPool mirrors the paper's §5.2–5.4 pool restrictions.
+// designPool mirrors the paper's §5.2–5.4 pool restrictions, extended
+// with the execution-model axis (empty = design across all models).
 type designPool struct {
 	Algorithms []string  `json:"algorithms"`
 	Sizes      []string  `json:"sizes"`
 	Alphas     []float64 `json:"alphas"`
+	Models     []string  `json:"models"`
 }
 
 // normalize validates the request, applies defaults, and sorts/dedups
@@ -105,6 +108,14 @@ func (req *designRequest) normalize() error {
 	}
 	req.Pool.Sizes = dedupStrings(req.Pool.Sizes)
 	sort.Float64s(req.Pool.Alphas)
+	for i, m := range req.Pool.Models {
+		name, err := model.Parse(strings.TrimSpace(m))
+		if err != nil {
+			return errInvalidf("pool.models: %v", err)
+		}
+		req.Pool.Models[i] = string(name)
+	}
+	req.Pool.Models = dedupStrings(req.Pool.Models)
 	return nil
 }
 
@@ -129,11 +140,12 @@ func (req *designRequest) cacheKey(versionTag string) string {
 	for i, a := range req.Pool.Alphas {
 		alphas[i] = strconv.FormatFloat(a, 'g', -1, 64)
 	}
-	return fmt.Sprintf("%s|metric=%s|method=%s|n=%d|seed=%d|steps=%d|algs=%s|sizes=%s|alphas=%s",
+	return fmt.Sprintf("%s|metric=%s|method=%s|n=%d|seed=%d|steps=%d|algs=%s|sizes=%s|alphas=%s|models=%s",
 		versionTag, req.Metric, req.Method, req.N, req.Seed, req.Steps,
 		strings.Join(req.Pool.Algorithms, ","),
 		strings.Join(req.Pool.Sizes, ","),
-		strings.Join(alphas, ","))
+		strings.Join(alphas, ","),
+		strings.Join(req.Pool.Models, ","))
 }
 
 func (req *designRequest) filter() corpus.Filter {
@@ -141,6 +153,7 @@ func (req *designRequest) filter() corpus.Filter {
 		Algorithms: req.Pool.Algorithms,
 		Sizes:      req.Pool.Sizes,
 		Alphas:     req.Pool.Alphas,
+		Models:     req.Pool.Models,
 	}
 }
 

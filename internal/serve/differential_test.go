@@ -76,7 +76,10 @@ func differentialCalls(t testing.TB) []apiCall {
 		{name: "runs alg", method: http.MethodGet, path: "/api/runs?algorithm=PR"},
 		{name: "runs multi", method: http.MethodGet, path: "/api/runs?algorithm=PR,CC&size=1e5"},
 		{name: "runs status", method: http.MethodGet, path: "/api/runs?status=ok"},
+		{name: "runs model gas", method: http.MethodGet, path: "/api/runs?model=gas"},
+		{name: "runs model empty", method: http.MethodGet, path: "/api/runs?model=pregel"},
 		{name: "predict", method: http.MethodGet, path: "/api/predict?algorithm=PR&edges=500000&alpha=2.1"},
+		{name: "predict model", method: http.MethodGet, path: "/api/predict?algorithm=PR&edges=500000&alpha=2.1&model=gas"},
 		{name: "predict 2", method: http.MethodGet, path: "/api/predict?algorithm=CC&edges=123456&alpha=1.9"},
 		{name: "best spread", method: http.MethodGet, path: "/api/ensemble/best?n=5"},
 		{name: "best coverage", method: http.MethodGet, path: "/api/ensemble/best?n=4&metric=coverage"},
@@ -86,6 +89,7 @@ func differentialCalls(t testing.TB) []apiCall {
 		{name: "design anneal", method: http.MethodPost, path: "/api/ensemble/design", body: `{"n":4,"method":"anneal","seed":7}`},
 		{name: "design beam", method: http.MethodPost, path: "/api/ensemble/design", body: `{"n":3,"method":"beam"}`},
 		{name: "design pooled", method: http.MethodPost, path: "/api/ensemble/design", body: `{"n":2,"pool":{"algorithms":["PR","CC"]}}`},
+		{name: "design model pool", method: http.MethodPost, path: "/api/ensemble/design", body: `{"n":2,"pool":{"models":["gas"]}}`},
 	}
 	// Single-record reads: a spread of record keys plus the first pool
 	// member (which carries a poolBehavior fragment). Each is requested
@@ -157,6 +161,18 @@ func dominatedRuns(t testing.TB, n int) []*behavior.Run {
 			Raw:            raw,
 		})
 	}
+	// One model-tagged run rides along: the append path, record keying and
+	// model-filtered reads must behave identically across deployments.
+	var raw behavior.Vector
+	for d := range raw {
+		raw[d] = stdSnap.Pool.Max[d] * 0.04
+	}
+	runs = append(runs, &behavior.Run{
+		Algorithm: "PR", Model: "pregel", Domain: "diff-test", SizeLabel: "7m",
+		Alpha: 2.05, NumEdges: 9000, Iterations: 4, Converged: true,
+		ActiveFraction: []float64{1, 0.6, 0.3, 0.1},
+		Raw:            raw,
+	})
 	return runs
 }
 
@@ -220,10 +236,19 @@ func TestDifferentialShardedServe(t *testing.T) {
 
 	// The appended records themselves serve identically, via their owning
 	// shards.
-	post := []apiCall{{
-		name:   "appended behavior",
-		method: http.MethodGet,
-		path:   "/api/behavior/" + corpus.KeyOf("PR", "7e1", 2.05),
-	}}
+	post := []apiCall{
+		{
+			name:   "appended behavior",
+			method: http.MethodGet,
+			path:   "/api/behavior/" + corpus.KeyOf("PR", "7e1", 2.05),
+		},
+		{
+			name:   "appended model behavior",
+			method: http.MethodGet,
+			path:   "/api/behavior/" + corpus.KeyOfModel("pregel", "PR", "7m", 2.05),
+		},
+		{name: "appended model runs", method: http.MethodGet, path: "/api/runs?model=pregel"},
+		{name: "appended model predict", method: http.MethodGet, path: "/api/predict?algorithm=PR&edges=9000&alpha=2.05&model=pregel"},
+	}
 	assertIdentical(t, "after publish", single, four, "cluster(4x2)", post)
 }

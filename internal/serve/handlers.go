@@ -10,6 +10,7 @@ import (
 	"gcbench/internal/algorithms"
 	"gcbench/internal/behavior"
 	"gcbench/internal/corpus"
+	"gcbench/internal/model"
 	"gcbench/internal/predict"
 	"gcbench/internal/shard"
 )
@@ -18,9 +19,12 @@ import (
 // lists. Raw is the measured per-edge vector; Behavior is the
 // max-normalized point in the full corpus space (coordinates in [0,1]).
 type runSummary struct {
-	Key        string           `json:"key"`
-	ID         string           `json:"id,omitempty"`
-	Algorithm  string           `json:"algorithm"`
+	Key       string `json:"key"`
+	ID        string `json:"id,omitempty"`
+	Algorithm string `json:"algorithm"`
+	// Model is the execution model tag, omitted for GAS runs so
+	// pre-model-axis corpora render byte-identically.
+	Model      string           `json:"model,omitempty"`
 	Domain     string           `json:"domain,omitempty"`
 	SizeLabel  string           `json:"sizeLabel"`
 	Alpha      float64          `json:"alpha,omitempty"`
@@ -38,6 +42,7 @@ func summarize(snap *corpus.Snapshot, recIdx int) runSummary {
 	out := runSummary{
 		Key:       rec.Key,
 		Algorithm: rec.Algorithm,
+		Model:     rec.Model,
 		SizeLabel: rec.SizeLabel,
 		Alpha:     rec.Alpha,
 		Status:    string(rec.Status),
@@ -59,13 +64,20 @@ func summarize(snap *corpus.Snapshot, recIdx int) runSummary {
 	return out
 }
 
-// parseFilter reads the shared algorithm/size/alpha/status query
+// parseFilter reads the shared algorithm/size/alpha/status/model query
 // parameters (repeatable and comma-splittable).
 func parseFilter(r *http.Request) (corpus.Filter, error) {
 	var f corpus.Filter
 	q := r.URL.Query()
 	f.Algorithms = splitParams(q["algorithm"])
 	f.Sizes = splitParams(q["size"])
+	for _, m := range splitParams(q["model"]) {
+		n, err := model.Parse(m)
+		if err != nil {
+			return f, errInvalidf("%v", err)
+		}
+		f.Models = append(f.Models, string(n))
+	}
 	for _, a := range splitParams(q["alpha"]) {
 		v, err := strconv.ParseFloat(a, 64)
 		if err != nil {
@@ -297,7 +309,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	p, err := snap.Predictor()
+	// An explicit model restricts interpolation to that model's runs
+	// (prediction never mixes engines); absent, the pre-model-axis
+	// whole-corpus predictor answers, so existing queries against
+	// GAS-only corpora keep their exact bytes.
+	var p *predict.Predictor
+	query := map[string]any{
+		"algorithm": string(algName), "edges": edges, "alpha": alpha,
+	}
+	if m := q.Get("model"); m != "" {
+		mName, merr := model.Parse(m)
+		if merr != nil {
+			writeError(w, http.StatusBadRequest, "invalid_request", "%v", merr)
+			return
+		}
+		query["model"] = string(mName)
+		p, err = snap.PredictorFor(string(mName))
+	} else {
+		p, err = snap.Predictor()
+	}
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "no_corpus", "%v", err)
 		return
@@ -309,12 +339,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"corpusVersion": snap.Version,
-		"query": map[string]any{
-			"algorithm": string(algName), "edges": edges, "alpha": alpha,
-		},
-		"raw":        pred.Raw,
-		"iterations": pred.Iterations,
-		"support":    pred.Support,
+		"query":         query,
+		"raw":           pred.Raw,
+		"iterations":    pred.Iterations,
+		"support":       pred.Support,
 	})
 }
 

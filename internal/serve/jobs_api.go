@@ -11,6 +11,7 @@ import (
 	"gcbench/internal/algorithms"
 	"gcbench/internal/behavior"
 	"gcbench/internal/jobs"
+	"gcbench/internal/model"
 	"gcbench/internal/obs/otrace"
 	"gcbench/internal/sweep"
 )
@@ -30,6 +31,10 @@ type campaignRequest struct {
 	Algorithms []string  `json:"algorithms"`
 	Sizes      []string  `json:"sizes"`
 	Alphas     []float64 `json:"alphas"`
+	// Models expands the plan across execution models (empty = GAS only,
+	// the pre-model-axis behavior). Each model contributes the plan
+	// restricted to the algorithms it implements.
+	Models []string `json:"models"`
 	// Parallel/Workers are the sweep.Config parallelism knobs (0 = auto).
 	Parallel int `json:"parallel"`
 	Workers  int `json:"workers"`
@@ -60,7 +65,16 @@ func (req *campaignRequest) buildSpecs() ([]sweep.Spec, error) {
 		}
 		req.Algorithms[i] = string(name)
 	}
-	plan, err := sweep.BuildPlan(sweep.Profile(req.Profile), req.Seed)
+	models := make([]model.Name, 0, len(req.Models))
+	for i, m := range req.Models {
+		name, err := model.Parse(m)
+		if err != nil {
+			return nil, errInvalidf("models: %v", err)
+		}
+		req.Models[i] = string(name)
+		models = append(models, name)
+	}
+	plan, err := sweep.BuildPlanModels(sweep.Profile(req.Profile), req.Seed, models)
 	if err != nil {
 		return nil, errInvalidf("%v", err)
 	}
@@ -78,7 +92,7 @@ func (req *campaignRequest) buildSpecs() ([]sweep.Spec, error) {
 		specs = append(specs, s)
 	}
 	if len(specs) == 0 {
-		return nil, errInvalidf("no campaign specs match the given algorithm/size/alpha restrictions")
+		return nil, errInvalidf("no campaign specs match the given algorithm/size/alpha/model restrictions")
 	}
 	return specs, nil
 }

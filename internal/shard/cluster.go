@@ -267,7 +267,7 @@ func (c *Cluster) Append(ctx context.Context, runs []*behavior.Run, from string)
 	for _, r := range runs {
 		records = append(records, corpus.Record{
 			Run: r, Status: behavior.StatusOK,
-			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha,
+			Algorithm: r.Algorithm, SizeLabel: r.SizeLabel, Alpha: r.Alpha, Model: r.Model,
 		})
 	}
 	source := old.Source

@@ -13,6 +13,7 @@ import (
 	"gcbench/internal/behavior"
 	"gcbench/internal/gen"
 	"gcbench/internal/graph"
+	"gcbench/internal/model"
 	"gcbench/internal/trace"
 )
 
@@ -216,6 +217,11 @@ func RunSpecTrace(ctx context.Context, spec Spec, workers int, frontier algorith
 	return runSpecTrace(ctx, spec, workers, frontier, nil)
 }
 
+// runSpecTrace executes one spec through its execution model: the
+// workload (graph, rating matrix, linear system or MRF) is built — or
+// fetched from the campaign's shared cache, which is keyed on structure
+// alone so every model sweeping the same graph shares one copy — and
+// handed to the model implementation the spec names.
 func runSpecTrace(ctx context.Context, spec Spec, workers int, frontier algorithms.FrontierMode, cache *graphCache) (*behavior.Run, *trace.RunTrace, error) {
 	if cache == nil {
 		cache = &graphCache{}
@@ -223,91 +229,30 @@ func runSpecTrace(ctx context.Context, spec Spec, workers int, frontier algorith
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	opt := algorithms.Options{Workers: workers, Context: ctx, Frontier: frontier}
-	var out *algorithms.Output
-	var err error
-
-	switch spec.Algorithm {
-	case algorithms.CC, algorithms.KC, algorithms.TC, algorithms.SSSP,
-		algorithms.PR, algorithms.AD, algorithms.KM:
-		g, gerr := gaGraph(spec, cache)
-		if gerr != nil {
-			return nil, nil, gerr
-		}
-		switch spec.Algorithm {
-		case algorithms.CC:
-			out, _, err = algorithms.ConnectedComponents(g, opt)
-		case algorithms.KC:
-			out, _, err = algorithms.KCoreDecomposition(g, opt)
-		case algorithms.TC:
-			out, _, err = algorithms.TriangleCounting(g, opt)
-		case algorithms.SSSP:
-			out, _, err = algorithms.SingleSourceShortestPath(g, maxDegreeVertex(g), opt)
-		case algorithms.PR:
-			out, _, err = algorithms.PageRank(g, algorithms.PageRankOptions{Options: opt})
-		case algorithms.AD:
-			out, _, err = algorithms.ApproximateDiameter(g, opt)
-		case algorithms.KM:
-			kmOpt := algorithms.KMeansOptions{Options: opt, Seed: spec.Seed}
-			kmOpt.MaxIterations = 1000
-			out, _, err = algorithms.KMeans(g, kmOpt)
-		}
-
-	case algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD:
-		v, gerr := cache.getOrBuild(spec.cacheKey(), func() (any, error) {
-			g, users, err := gen.Bipartite(gen.BipartiteConfig{
-				NumEdges: spec.NumEdges, Alpha: spec.Alpha, Seed: spec.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			return cfGraph{g, users}, nil
-		})
-		if gerr != nil {
-			return nil, nil, gerr
-		}
-		cg := v.(cfGraph)
-		switch spec.Algorithm {
-		case algorithms.ALS:
-			out, _, err = algorithms.AlternatingLeastSquares(cg.g, cg.users, algorithms.ALSOptions{Options: opt})
-		case algorithms.NMF:
-			out, _, err = algorithms.NonnegativeMatrixFactorization(cg.g, cg.users, algorithms.NMFOptions{Options: opt})
-		case algorithms.SGD:
-			out, _, err = algorithms.StochasticGradientDescent(cg.g, cg.users, algorithms.SGDOptions{Options: opt})
-		case algorithms.SVD:
-			out, _, err = algorithms.SingularValueDecomposition(cg.g, cg.users, algorithms.SVDOptions{Options: opt})
-		}
-
-	case algorithms.Jacobi:
-		sys, gerr := gen.Matrix(gen.JacobiConfig{NumRows: spec.NumRows, Seed: spec.Seed})
-		if gerr != nil {
-			return nil, nil, gerr
-		}
-		out, _, err = algorithms.JacobiSolve(sys, algorithms.JacobiOptions{Options: opt})
-
-	case algorithms.LBP:
-		m, gerr := gen.Grid(gen.GridConfig{Rows: spec.NumRows, Seed: spec.Seed})
-		if gerr != nil {
-			return nil, nil, gerr
-		}
-		out, _, err = algorithms.LoopyBeliefPropagation(m, algorithms.LBPOptions{Options: opt})
-
-	case algorithms.DD:
-		m, gerr := gen.MRF(gen.MRFConfig{NumEdges: spec.NumEdges, Seed: spec.Seed})
-		if gerr != nil {
-			return nil, nil, gerr
-		}
-		out, _, err = algorithms.DualDecomposition(m, algorithms.DDOptions{Options: opt})
-
-	default:
-		return nil, nil, fmt.Errorf("sweep: unknown algorithm %q", spec.Algorithm)
+	m, err := model.ForName(spec.EffectiveModel())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: %w", err)
 	}
+	if !m.Supports(spec.Algorithm) {
+		return nil, nil, fmt.Errorf("sweep: model %s does not implement algorithm %s", m.Name(), spec.Algorithm)
+	}
+	w, err := specWorkload(spec, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := m.Run(ctx, w, spec.Algorithm, model.Options{
+		Workers:  workers,
+		Context:  ctx,
+		Frontier: frontier,
+		Seed:     spec.Seed,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
 
 	r := &behavior.Run{
 		Algorithm:      string(spec.Algorithm),
+		Model:          model.Tag(spec.EffectiveModel()),
 		Domain:         spec.Algorithm.Domain(),
 		NumEdges:       out.Trace.NumEdges,
 		Alpha:          spec.Alpha,
@@ -318,6 +263,60 @@ func runSpecTrace(ctx context.Context, spec Spec, workers int, frontier algorith
 		Raw:            behavior.FromTrace(out.Trace),
 	}
 	return r, out.Trace, nil
+}
+
+// specWorkload assembles (or fetches from the shared cache) the input
+// the spec's algorithm runs over. Graph-shaped workloads are cached per
+// structure — never per model — so a multi-model campaign builds each
+// graph once.
+func specWorkload(spec Spec, cache *graphCache) (model.Workload, error) {
+	switch spec.Algorithm {
+	case algorithms.CC, algorithms.KC, algorithms.TC, algorithms.SSSP,
+		algorithms.PR, algorithms.AD, algorithms.KM:
+		g, err := gaGraph(spec, cache)
+		if err != nil {
+			return model.Workload{}, err
+		}
+		return model.Workload{Graph: g}, nil
+
+	case algorithms.ALS, algorithms.NMF, algorithms.SGD, algorithms.SVD:
+		v, err := cache.getOrBuild(spec.cacheKey(), func() (any, error) {
+			g, users, err := gen.Bipartite(gen.BipartiteConfig{
+				NumEdges: spec.NumEdges, Alpha: spec.Alpha, Seed: spec.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return cfGraph{g, users}, nil
+		})
+		if err != nil {
+			return model.Workload{}, err
+		}
+		cg := v.(cfGraph)
+		return model.Workload{Ratings: cg.g, Users: cg.users}, nil
+
+	case algorithms.Jacobi:
+		sys, err := gen.Matrix(gen.JacobiConfig{NumRows: spec.NumRows, Seed: spec.Seed})
+		if err != nil {
+			return model.Workload{}, err
+		}
+		return model.Workload{System: sys}, nil
+
+	case algorithms.LBP:
+		m, err := gen.Grid(gen.GridConfig{Rows: spec.NumRows, Seed: spec.Seed})
+		if err != nil {
+			return model.Workload{}, err
+		}
+		return model.Workload{MRF: m}, nil
+
+	case algorithms.DD:
+		m, err := gen.MRF(gen.MRFConfig{NumEdges: spec.NumEdges, Seed: spec.Seed})
+		if err != nil {
+			return model.Workload{}, err
+		}
+		return model.Workload{MRF: m}, nil
+	}
+	return model.Workload{}, fmt.Errorf("sweep: unknown algorithm %q", spec.Algorithm)
 }
 
 // gaGraph builds (or fetches) the shared Graph Analytics / Clustering
@@ -344,19 +343,6 @@ func gaGraph(spec Spec, cache *graphCache) (*graph.Graph, error) {
 		return nil, err
 	}
 	return v.(*graph.Graph), nil
-}
-
-// maxDegreeVertex picks the SSSP source: the highest-degree vertex, so
-// the frontier expansion the paper describes is visible on every graph
-// (a random isolated source would trivialize the run).
-func maxDegreeVertex(g *graph.Graph) uint32 {
-	best, bestDeg := uint32(0), -1
-	for v := uint32(0); int(v) < g.NumVertices(); v++ {
-		if d := g.OutDegree(v); d > bestDeg {
-			best, bestDeg = v, d
-		}
-	}
-	return best
 }
 
 // SaveRuns writes the corpus as JSON.

@@ -25,12 +25,17 @@ import (
 	"fmt"
 
 	"gcbench/internal/algorithms"
+	"gcbench/internal/model"
 )
 
 // Spec identifies one graph computation: the <algorithm, graph size,
-// degree distribution> tuple of §5.1.
+// degree distribution> tuple of §5.1, extended with the execution model
+// that runs it.
 type Spec struct {
 	Algorithm algorithms.Name `json:"algorithm"`
+	// Model is the execution model (empty means GAS, keeping specs and
+	// checkpoint journals written before the model axis byte-compatible).
+	Model model.Name `json:"model,omitempty"`
 	// NumEdges is the generator's target edge count (GA, Clustering, CF
 	// and DD workloads).
 	NumEdges int64 `json:"numEdges,omitempty"`
@@ -45,12 +50,28 @@ type Spec struct {
 	Seed uint64 `json:"seed"`
 }
 
-// ID renders the spec's identifying tuple.
+// ID renders the spec's identifying tuple. Non-GAS specs append the
+// model, so the same computation under two models never shares an ID —
+// checkpoint resume, fault injection and tracing all key on it. GAS
+// specs render exactly as before the model axis, so old journals still
+// match.
 func (s Spec) ID() string {
+	id := ""
 	if s.Alpha == 0 {
-		return fmt.Sprintf("<%s, %s>", s.Algorithm, s.SizeLabel)
+		id = fmt.Sprintf("<%s, %s>", s.Algorithm, s.SizeLabel)
+	} else {
+		id = fmt.Sprintf("<%s, %s, %.2f>", s.Algorithm, s.SizeLabel, s.Alpha)
 	}
-	return fmt.Sprintf("<%s, %s, %.2f>", s.Algorithm, s.SizeLabel, s.Alpha)
+	if m := model.Canonical(string(s.Model)); m != model.GAS {
+		id = id[:len(id)-1] + fmt.Sprintf(", %s>", m)
+	}
+	return id
+}
+
+// EffectiveModel returns the spec's execution model, resolving the
+// empty (pre-model-axis) tag to GAS.
+func (s Spec) EffectiveModel() model.Name {
+	return model.Canonical(string(s.Model))
 }
 
 // Profile selects the campaign scale.
@@ -183,6 +204,50 @@ func BuildPlan(p Profile, seed uint64) ([]Spec, error) {
 			SizeLabel: fmt.Sprintf("%d", e),
 			Seed:      graphSeed(seed, "dd", e, 0),
 		})
+	}
+	return specs, nil
+}
+
+// BuildPlanModels expands the Table 2 campaign across execution models:
+// for each requested model, the profile's plan restricted to the
+// algorithms that model implements. GAS specs carry an empty Model tag
+// (the pre-model-axis encoding), so BuildPlanModels(p, seed, [gas]) is
+// spec-for-spec identical to BuildPlan(p, seed). Duplicate model names
+// collapse; specs are grouped model-major in AllNames order so the
+// campaign's shared-graph cache drains one model's working set before
+// the next begins.
+func BuildPlanModels(p Profile, seed uint64, models []model.Name) ([]Spec, error) {
+	if len(models) == 0 {
+		return BuildPlan(p, seed)
+	}
+	base, err := BuildPlan(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[model.Name]bool, len(models))
+	for _, m := range models {
+		n, err := model.Parse(string(m))
+		if err != nil {
+			return nil, err
+		}
+		want[n] = true
+	}
+	var specs []Spec
+	for _, m := range model.AllNames() {
+		if !want[m] {
+			continue
+		}
+		impl, err := model.ForName(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range base {
+			if !impl.Supports(s.Algorithm) {
+				continue
+			}
+			s.Model = model.Name(model.Tag(m))
+			specs = append(specs, s)
+		}
 	}
 	return specs, nil
 }

@@ -17,6 +17,7 @@
 package xstream
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -54,6 +55,9 @@ type Options struct {
 	// Workers is the apply-phase parallelism; 0 means GOMAXPROCS. The
 	// stream phase is sequential, as in a single streaming partition.
 	Workers int
+	// Context, when non-nil, cancels the run cooperatively at the next
+	// iteration barrier; Run returns an error wrapping ctx.Err().
+	Context context.Context
 }
 
 // Result carries the trace and final states.
@@ -108,6 +112,11 @@ func Run[S, U any](g *graph.Graph, p Program[S, U], opt Options) (*Result[S], er
 		if activeCount == 0 {
 			tr.Converged = true
 			break
+		}
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("xstream: run stopped at iteration %d: %w", iter, err)
+			}
 		}
 		start := time.Now()
 
